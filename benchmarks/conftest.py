@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+All figure benches share one memoized result matrix, so the (workload x
+protocol) simulations run exactly once per pytest session regardless of
+how many figures consume them.  ``REPRO_SCALE`` (accesses per core,
+default 800 here) and ``REPRO_WORKLOADS`` (comma-separated subset) control
+cost; raise the scale for closer-to-steady-state numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentSettings, ResultMatrix
+
+
+def bench_settings() -> ExperimentSettings:
+    per_core = int(os.environ.get("REPRO_SCALE", "800"))
+    names = os.environ.get("REPRO_WORKLOADS", "")
+    workloads = tuple(n.strip() for n in names.split(",") if n.strip())
+    return ExperimentSettings(per_core=per_core, workloads=workloads)
+
+
+@pytest.fixture(scope="session")
+def matrix() -> ResultMatrix:
+    return ResultMatrix(bench_settings())
+
+
+def run_once(benchmark, fn):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

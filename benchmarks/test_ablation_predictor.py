@@ -1,0 +1,59 @@
+"""Ablation bench: how much of Protozoa's win is the spatial predictor?
+
+Runs Protozoa-SW with each predictor (whole-region / single-word /
+PC-history) on contrasting workloads.  Whole-region reproduces MESI's
+storage behaviour (no traffic win, no extra misses); single-word minimizes
+traffic but forfeits spatial prefetching (extra misses on dense apps —
+the paper's "underfetching" discussion for h2/histogram); the PC-history
+predictor should track the better of the two per workload.
+"""
+
+from repro.common.params import PredictorKind, ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.workloads import build_streams
+
+from benchmarks.conftest import bench_settings, run_once
+
+WORKLOADS = ["matrix-multiply", "canneal", "linear-regression"]
+
+
+def sweep():
+    settings = bench_settings()
+    out = {}
+    for name in WORKLOADS:
+        for predictor in PredictorKind:
+            config = SystemConfig(protocol=ProtocolKind.PROTOZOA_SW,
+                                  predictor=predictor)
+            streams = build_streams(name, cores=settings.cores,
+                                    per_core=settings.per_core)
+            out[(name, predictor)] = simulate(streams, config, name=name)
+    return out
+
+
+def test_ablation_predictor(benchmark):
+    def harness():
+        results = sweep()
+        print("\nPredictor ablation (Protozoa-SW)")
+        print(f"{'workload':>18} {'predictor':>14} {'mpki':>8} {'KB':>9} {'used%':>7}")
+        for (name, predictor), r in results.items():
+            print(f"{name:>18} {predictor.value:>14} {r.mpki():>8.2f} "
+                  f"{r.traffic_bytes() // 1024:>9} "
+                  f"{100 * r.used_fraction():>6.1f}%")
+        return results
+
+    results = run_once(benchmark, harness)
+
+    # Dense streaming: single-word forfeits prefetching -> more misses.
+    dense_sw = results[("matrix-multiply", PredictorKind.SINGLE_WORD)]
+    dense_wr = results[("matrix-multiply", PredictorKind.WHOLE_REGION)]
+    assert dense_sw.mpki() > 2 * dense_wr.mpki()
+
+    # Sparse accesses: whole-region wastes traffic vs single-word.
+    sparse_sw = results[("canneal", PredictorKind.SINGLE_WORD)]
+    sparse_wr = results[("canneal", PredictorKind.WHOLE_REGION)]
+    assert sparse_sw.traffic_bytes() < sparse_wr.traffic_bytes()
+
+    # The trained predictor lands near the better pole on both.
+    for name, best in [("matrix-multiply", dense_wr), ("canneal", sparse_sw)]:
+        trained = results[(name, PredictorKind.PC_HISTORY)]
+        assert trained.mpki() < 2.0 * best.mpki() + 1.0

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 10 (control-message breakdown by type)."""
+
+from repro.experiments import fig10_control
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_control(benchmark, matrix):
+    def harness():
+        print("\nFigure 10: control traffic by type (fraction of MESI total)")
+        print(fig10_control.render(matrix))
+        return fig10_control.rows(matrix)
+
+    rows = run_once(benchmark, harness)
+    assert rows
+    # MESI never sends ACK-S, and a NACK column exists for every protocol.
+    by_key = {(r[0], r[1]): r for r in rows}
+    for name in matrix.settings.workload_names():
+        mesi = by_key[(name, "MESI")]
+        assert len(mesi) == len(fig10_control.HEADERS)
+    # SW+MR keeps downgraded writers as sharers: on false-sharing apps its
+    # INV share must exceed Protozoa-SW's (paper Section 3.5 trade-off).
+    name = "linear-regression"
+    if name in matrix.settings.workload_names():
+        inv_col = fig10_control.HEADERS.index("inv")
+        assert by_key[(name, "SW+MR")][inv_col] > by_key[(name, "SW")][inv_col]

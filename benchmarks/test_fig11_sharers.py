@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 11 (Owned-state directory sharer census, MW)."""
+
+from repro.experiments import fig11_sharers
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_sharers(benchmark, matrix):
+    def harness():
+        print("\nFigure 11: directory Owned-state census under Protozoa-MW")
+        print(fig11_sharers.render(matrix))
+        return fig11_sharers.rows(matrix)
+
+    rows = run_once(benchmark, harness)
+    by_name = {r[0]: r for r in rows}
+    names = matrix.settings.workload_names()
+    # string-match is the paper's extreme multi-owner case.
+    if "string-match" in names:
+        assert by_name["string-match"][3] > 0.3  # >1owner share
+    # Embarrassingly parallel apps stay effectively single-owner.
+    if "matrix-multiply" in names:
+        assert by_name["matrix-multiply"][3] < 0.05

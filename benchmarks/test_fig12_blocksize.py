@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 12 (L1 block-granularity distribution, MW)."""
+
+from repro.experiments import fig12_blocksize
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_blocksize(benchmark, matrix):
+    def harness():
+        print("\nFigure 12: Amoeba block-size distribution under Protozoa-MW")
+        print(fig12_blocksize.render(matrix))
+        return fig12_blocksize.rows(matrix)
+
+    rows = run_once(benchmark, harness)
+    by_name = {r[0]: r for r in rows}
+    names = matrix.settings.workload_names()
+    # Low-spatial-locality apps skew narrow; dense apps skew to 8 words.
+    if "canneal" in names:
+        assert by_name["canneal"][1] > 0.4  # 1-2 word share
+    if "matrix-multiply" in names:
+        assert by_name["matrix-multiply"][4] > 0.6  # 7-8 word share
+    for row in rows:
+        assert abs(sum(row[1:]) - 1.0) < 1e-3

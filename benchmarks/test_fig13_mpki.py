@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 13 (MPKI for all four protocols).
+
+Paper headline: SW cuts the miss rate ~19% on average; SW+MR and MW ~36%,
+with linear-regression down 99% under MW.
+"""
+
+from repro.experiments import fig13_mpki
+
+from benchmarks.conftest import run_once
+
+
+def test_fig13_mpki(benchmark, matrix):
+    def harness():
+        print("\nFigure 13: miss rate (MPKI)")
+        print(fig13_mpki.render(matrix))
+        return fig13_mpki.rows(matrix), fig13_mpki.reduction_summary(matrix)
+
+    rows, means = run_once(benchmark, harness)
+    by_name = {r[0]: r for r in rows}
+    if "linear-regression" in by_name:
+        row = by_name["linear-regression"]
+        assert row[4] < 0.1 * row[1]  # MW eliminates the false sharing
+    # MW's mean MPKI ratio must beat SW's (false sharing eliminated).
+    assert means["MW"] < means["SW"]
+    assert means["MW"] < 1.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 15 (interconnect flit-hops relative to MESI).
+
+Paper headline: Protozoa-SW eliminates 33% of flit-hops, SW+MR 38%, MW 49%.
+"""
+
+from repro.experiments import fig15_energy
+
+from benchmarks.conftest import run_once
+
+
+def test_fig15_energy(benchmark, matrix):
+    def harness():
+        print("\nFigure 15: flit-hops (dynamic interconnect energy) vs MESI")
+        print(fig15_energy.render(matrix))
+        return fig15_energy.summary(matrix)
+
+    means = run_once(benchmark, harness)
+    assert means["SW"] < 1.0
+    assert means["MW"] < means["SW"]  # MW saves the most energy
+    assert means["MW"] < 0.8

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 9 (L1 traffic breakdown vs MESI).
+
+Paper headline: mean total-traffic reduction vs MESI — Protozoa-SW 26%,
+SW+MR 34%, MW 37%.  The assertion checks the ordering and that MW saves
+a substantial fraction; absolute percentages depend on workload scale.
+"""
+
+from repro.experiments import fig9_traffic
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_traffic(benchmark, matrix):
+    def harness():
+        print("\nFigure 9: L1 traffic breakdown normalized to MESI")
+        print(fig9_traffic.render(matrix))
+        return fig9_traffic.summary(matrix)
+
+    means = run_once(benchmark, harness)
+    assert means["MESI"] == 1.0
+    assert means["SW"] < 1.0
+    assert means["MW"] < means["SW"]
+    assert means["MW"] < 0.85  # MW saves a substantial fraction of traffic

@@ -1,0 +1,27 @@
+"""Bench: the paper's random-tester verification pass, timed per protocol.
+
+Section 3.6: "We have tested protozoa extensively with the random tester".
+This bench runs the adversarial tester with full value/invariant checking
+for each protocol and reports throughput — it doubles as the repository's
+verification smoke bench.
+"""
+
+import pytest
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.verification.random_tester import RandomTester
+
+ACCESSES = 1500
+
+
+@pytest.mark.parametrize("kind", list(ProtocolKind),
+                         ids=[k.short_name for k in ProtocolKind])
+def test_random_tester(benchmark, kind):
+    def harness():
+        cfg = SystemConfig(protocol=kind, cores=8)
+        tester = RandomTester(cfg, regions=6, seed=42, check_every=16)
+        return tester.run(ACCESSES)
+
+    report = benchmark.pedantic(harness, rounds=1, iterations=1)
+    assert report.accesses == ACCESSES
+    assert report.misses > 0

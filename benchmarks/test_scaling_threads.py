@@ -1,0 +1,57 @@
+"""Extension bench: false-sharing severity vs thread count.
+
+The paper's motivation notes that "as the per-thread working set reduces
+(with increasing threads), the false sharing component may influence
+performance".  This bench scales the Figure 1 counter kernel from 2 to 16
+threads: MESI's miss count grows superlinearly with contention while
+Protozoa-MW stays flat at the cold misses.
+"""
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.events import MemAccess
+
+from benchmarks.conftest import run_once
+
+ITERS = 250
+BASE = 0x9000
+
+
+def counter_stream(core):
+    addr = BASE + core * 8
+    events = []
+    for _ in range(ITERS):
+        events.append(MemAccess.read(addr, 8, 0x10, 2))
+        events.append(MemAccess.write(addr, 8, 0x14, 1))
+    return events
+
+
+def run(kind, threads):
+    config = SystemConfig(protocol=kind, cores=16)
+    streams = [counter_stream(core) for core in range(threads)]
+    return simulate(streams, config, name=f"counters-{threads}")
+
+
+def test_scaling_threads(benchmark):
+    def harness():
+        results = {}
+        print("\nFalse-sharing severity vs thread count (Figure 1 kernel)")
+        print(f"{'threads':>8} {'MESI miss':>10} {'MW miss':>8} "
+              f"{'MESI exec':>10} {'MW exec':>8}")
+        for threads in (2, 4, 8, 16):
+            mesi = run(ProtocolKind.MESI, threads)
+            mw = run(ProtocolKind.PROTOZOA_MW, threads)
+            results[threads] = (mesi, mw)
+            print(f"{threads:>8} {mesi.stats.misses:>10} {mw.stats.misses:>8} "
+                  f"{mesi.exec_cycles():>10} {mw.exec_cycles():>8}")
+        return results
+
+    results = run_once(benchmark, harness)
+
+    # MESI misses grow with thread count; MW stays at cold misses.
+    mesi_2 = results[2][0].stats.misses
+    mesi_16 = results[16][0].stats.misses
+    assert mesi_16 > 3 * mesi_2
+    for threads, (mesi, mw) in results.items():
+        assert mw.stats.misses <= 8 * threads  # warmup churn only
+        assert mw.exec_cycles() < mesi.exec_cycles()

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 1 (MESI block-size sweep, 16->128 bytes)."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_blocksize(benchmark, matrix):
+    def harness():
+        text = table1.render(matrix)
+        print("\nTable 1: MESI behaviour when varying the fixed block size")
+        print(text)
+        return table1.rows(matrix)
+
+    rows = run_once(benchmark, harness)
+    assert len(rows) == len(matrix.settings.workload_names())
+    # The paper's strongest Table 1 signal: linear-regression prefers the
+    # smallest block (false sharing dominates as blocks grow).
+    by_name = {r[0]: r for r in rows}
+    if "linear-regression" in by_name:
+        assert by_name["linear-regression"][7] == 16

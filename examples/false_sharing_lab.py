@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""False-sharing lab: how packing density and protocol interact.
+
+Sweeps the padding of a per-thread counter array from fully packed (8
+counters per 64-byte region — worst false sharing) to fully padded (one
+counter per region — no sharing at all) and reports misses and traffic for
+each protocol.  This reproduces the linear-regression story from the
+paper's evaluation: padding fixes MESI in software, Protozoa-MW fixes it
+in hardware with no source changes.
+
+Run:  python examples/false_sharing_lab.py
+"""
+
+from repro import MemAccess, ProtocolKind, SystemConfig, simulate
+
+CORES = 8
+ITERS = 300
+BASE = 0x40000
+
+
+def counter_trace(core: int, stride_bytes: int):
+    """Each core increments its own counter, placed stride_bytes apart."""
+    addr = BASE + core * stride_bytes
+    pc = 0x1000
+    for _ in range(ITERS):
+        yield MemAccess.read(addr, 8, pc, think=2)
+        yield MemAccess.write(addr, 8, pc + 4, think=1)
+
+
+def run(kind: ProtocolKind, stride: int):
+    config = SystemConfig(protocol=kind, cores=CORES)
+    streams = [counter_trace(core, stride) for core in range(CORES)]
+    return simulate(streams, config, name=f"lab-{stride}")
+
+
+def main() -> None:
+    strides = [8, 16, 32, 64]  # 8,4,2,1 counters per region
+    print(f"{CORES} threads x {ITERS} increments; counter stride sweep\n")
+    print(f"{'stride':>7} {'sharers/region':>15} | " +
+          " | ".join(f"{k.short_name:>14}" for k in ProtocolKind))
+    print(f"{'':>7} {'':>15} | " +
+          " | ".join(f"{'miss':>6} {'KB':>7}" for _ in ProtocolKind))
+    print("-" * 90)
+    for stride in strides:
+        cells = []
+        for kind in ProtocolKind:
+            result = run(kind, stride)
+            cells.append(f"{result.stats.misses:>6} "
+                         f"{result.traffic_bytes() / 1024:>7.1f}")
+        sharers = max(64 // stride, 1)
+        print(f"{stride:>7} {sharers:>15} | " + " | ".join(cells))
+    print()
+    print("Fully packed (stride 8): MESI/SW ping-pong; MW is immune.")
+    print("Fully padded (stride 64): every protocol behaves the same —")
+    print("adaptive coherence granularity only matters when data is packed.")
+
+
+if __name__ == "__main__":
+    main()

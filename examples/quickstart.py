@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 OpenMP counter example.
+
+Two threads each increment their own counter, but both counters live in
+the same 64-byte cache line:
+
+    volatile int Item[MAX_THREADS];
+    void worker(int index) { for (i = 0; i < ITER; i++) Item[index]++; }
+
+Under MESI the line ping-pongs between the cores on every increment.
+Protozoa-SW moves only the needed word but still invalidates at region
+granularity, so the ping-pong remains.  Protozoa-MW lets both cores keep
+their own word cached for writing — after warm-up, no misses and no
+coherence traffic at all.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MemAccess, ProtocolKind, SystemConfig, simulate
+
+ITERS = 500
+THREADS = 2
+ITEM_BASE = 0x8000  # both counters in one 64-byte region
+
+
+def worker_trace(index: int):
+    """The memory accesses of `for (...) Item[index]++`."""
+    addr = ITEM_BASE + index * 8
+    pc = 0x400100
+    for _ in range(ITERS):
+        yield MemAccess.read(addr, 8, pc, think=2)  # load Item[index]
+        yield MemAccess.write(addr, 8, pc + 4, think=1)  # store Item[index]
+
+
+def main() -> None:
+    print(f"Figure 1 counter example: {THREADS} threads x {ITERS} increments,"
+          f" counters share one region\n")
+    header = f"{'protocol':>10} {'misses':>8} {'invalidations':>14} " \
+             f"{'traffic(B)':>11} {'exec cycles':>12}"
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for kind in ProtocolKind:
+        config = SystemConfig(protocol=kind, cores=max(THREADS, 2))
+        streams = [worker_trace(i) for i in range(THREADS)]
+        result = simulate(streams, config, name="counter")
+        stats = result.stats
+        if kind is ProtocolKind.MESI:
+            baseline = stats.misses or 1
+        print(f"{kind.short_name:>10} {stats.misses:>8} "
+              f"{stats.invalidations_sent:>14} {result.traffic_bytes():>11} "
+              f"{result.exec_cycles():>12}")
+    print()
+    print("MESI/SW ping-pong on every increment; Protozoa-MW caches both")
+    print("words for writing simultaneously and eliminates the misses "
+          f"(MESI had {baseline}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Trace tooling tour: dump, profile, and replay a workload trace.
+
+Shows the library's trace pipeline end-to-end:
+
+1. generate the synthetic `histogram` trace and save it to disk
+   (the same text format an external Pin-style tool could produce);
+2. profile it protocol-independently (sharing census, spatial density);
+3. replay the identical trace under MESI and Protozoa-MW and compare.
+
+Run:  python examples/trace_tools.py
+"""
+
+import tempfile
+
+from repro import ProtocolKind, SystemConfig, build_streams, simulate
+from repro.trace.analysis import profile_streams
+from repro.trace.io import read_trace, write_trace
+
+WORKLOAD = "histogram"
+CORES = 8
+PER_CORE = 1500
+
+
+def main() -> None:
+    streams = build_streams(WORKLOAD, cores=CORES, per_core=PER_CORE)
+
+    with tempfile.NamedTemporaryFile("w+", suffix=".trace") as fh:
+        count = write_trace(streams, fh)
+        fh.seek(0)
+        replayable = read_trace(fh)
+    print(f"1. dumped {count} records of '{WORKLOAD}' "
+          f"({CORES} cores x {PER_CORE}) and read them back\n")
+
+    profile = profile_streams(replayable)
+    print("2. protocol-independent profile:")
+    for key, value in profile.summary().items():
+        print(f"   {key:>14}: {value}")
+    print(f"   -> {profile.falsely_shared_fraction:.1%} of touched regions "
+          "are falsely shared (packed per-thread bins)\n")
+
+    print("3. identical trace under two protocols:")
+    print(f"   {'protocol':>10} {'misses':>8} {'traffic(B)':>11} {'used%':>7}")
+    for kind in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_MW):
+        with tempfile.NamedTemporaryFile("w+", suffix=".trace") as fh:
+            write_trace(build_streams(WORKLOAD, cores=CORES,
+                                      per_core=PER_CORE), fh)
+            fh.seek(0)
+            trace = read_trace(fh)
+        result = simulate(trace, SystemConfig(protocol=kind, cores=CORES),
+                          name=WORKLOAD)
+        print(f"   {kind.short_name:>10} {result.stats.misses:>8} "
+              f"{result.traffic_bytes():>11} "
+              f"{100 * result.used_fraction():>6.1f}%")
+    print("\nProtozoa-MW ships fewer bytes and keeps the falsely-shared "
+          "bins cached for writing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Protozoa: adaptive granularity cache coherence (ISCA 2013) — reproduction.
+
+A trace-driven multicore coherence simulator implementing the paper's full
+system: the Amoeba-Cache variable-granularity L1 substrate, a conventional
+MESI baseline, and the three Protozoa protocols (SW, SW+MR, MW), plus the
+synthetic workload suite, statistics, and experiment harnesses that
+regenerate every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import SystemConfig, ProtocolKind, simulate, build_streams
+
+    streams = build_streams("linear-regression", cores=16, per_core=2000)
+    mesi = simulate(streams, SystemConfig(protocol=ProtocolKind.MESI))
+    mw = simulate(
+        build_streams("linear-regression", cores=16, per_core=2000),
+        SystemConfig(protocol=ProtocolKind.PROTOZOA_MW),
+    )
+    print(mesi.mpki(), mw.mpki())  # Protozoa-MW eliminates the false sharing
+"""
+
+from repro.common.params import (
+    CacheGeometry,
+    L1Organization,
+    L2Config,
+    NetworkConfig,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.common.wordrange import WordRange
+from repro.common.errors import (
+    ConfigError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.system.machine import build_protocol, simulate
+from repro.system.results import RunResult
+from repro.system.simulator import Simulator
+from repro.trace.events import MemAccess
+from repro.trace.workloads import WORKLOADS, build_streams, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "ConfigError",
+    "L1Organization",
+    "InvariantViolation",
+    "L2Config",
+    "MemAccess",
+    "NetworkConfig",
+    "PredictorKind",
+    "ProtocolError",
+    "ProtocolKind",
+    "ReproError",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "SystemConfig",
+    "WORKLOADS",
+    "WordRange",
+    "build_protocol",
+    "build_streams",
+    "get_workload",
+    "simulate",
+    "__version__",
+]

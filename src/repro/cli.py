@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      the 28 bundled workload profiles with their paper metadata
+``run``       simulate one workload under one protocol, print the summary
+``compare``   one workload under all four protocols, side by side
+``report``    regenerate the full evaluation (all tables and figures)
+``verify``    the paper's random protocol tester with full checking
+``trace``     dump a workload's synthetic trace to a file (replayable)
+``replay``    run a saved trace file under a chosen protocol
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.params import (
+    L1Organization,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.system.machine import simulate
+from repro.trace.workloads import WORKLOADS, build_streams
+
+_PROTOCOL_NAMES = {
+    "mesi": ProtocolKind.MESI,
+    "sw": ProtocolKind.PROTOZOA_SW,
+    "sw+mr": ProtocolKind.PROTOZOA_SW_MR,
+    "swmr": ProtocolKind.PROTOZOA_SW_MR,
+    "mw": ProtocolKind.PROTOZOA_MW,
+}
+
+
+def _protocol(name: str) -> ProtocolKind:
+    try:
+        return _PROTOCOL_NAMES[name.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown protocol {name!r} (choose from {sorted(_PROTOCOL_NAMES)})"
+        )
+
+
+def _config(args, protocol: ProtocolKind) -> SystemConfig:
+    return SystemConfig(
+        protocol=protocol,
+        cores=args.cores,
+        predictor=PredictorKind(args.predictor),
+        l1_organization=L1Organization(args.substrate),
+        three_hop=args.three_hop,
+    )
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--scale", type=int, default=2000,
+                        help="accesses per core (default 2000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--predictor", default="pc-history",
+                        choices=[p.value for p in PredictorKind])
+    parser.add_argument("--substrate", default="amoeba",
+                        choices=[o.value for o in L1Organization])
+    parser.add_argument("--three-hop", action="store_true",
+                        help="enable direct owner-to-requester forwarding")
+
+
+def _print_summary(result) -> None:
+    stats = result.stats
+    split = result.traffic_split()
+    print(f"workload:        {result.name}")
+    print(f"protocol:        {result.protocol_name}")
+    print(f"instructions:    {stats.instructions}")
+    print(f"accesses:        {stats.accesses} "
+          f"({stats.reads} loads, {stats.writes} stores)")
+    print(f"misses:          {stats.misses}  (MPKI {result.mpki():.2f})")
+    print(f"invalidations:   {stats.invalidations_sent}  "
+          f"(NACKs {stats.nacks}, ACK-S {stats.ack_s})")
+    print(f"traffic:         {result.traffic_bytes()} B  "
+          f"(used {split['used']}, unused {split['unused']}, "
+          f"control {split['control']})")
+    print(f"USED fraction:   {result.used_fraction():.1%}")
+    print(f"flit-hops:       {result.flit_hops()}")
+    print(f"exec cycles:     {result.exec_cycles()}")
+
+
+def cmd_list(args) -> int:
+    print(f"{'name':>18} {'suite':>10} {'paper-opt':>9} {'paper-USED%':>11} "
+          f"{'false-sharing':>13}")
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        print(f"{name:>18} {spec.suite:>10} {spec.paper_optimal:>9} "
+              f"{spec.paper_used_pct:>10}% "
+              f"{'yes' if spec.falsely_shares else '':>13}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    protocol = _protocol(args.protocol)
+    streams = build_streams(args.workload, cores=args.cores,
+                            per_core=args.scale, seed=args.seed)
+    result = simulate(streams, _config(args, protocol), name=args.workload)
+    _print_summary(result)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    print(f"{args.workload}: {args.cores} cores x {args.scale} accesses\n")
+    print(f"{'protocol':>9} {'mpki':>8} {'traffic(B)':>11} {'used%':>7} "
+          f"{'flit-hops':>10} {'exec':>10}")
+    for protocol in ProtocolKind:
+        streams = build_streams(args.workload, cores=args.cores,
+                                per_core=args.scale, seed=args.seed)
+        result = simulate(streams, _config(args, protocol), name=args.workload)
+        print(f"{protocol.short_name:>9} {result.mpki():>8.2f} "
+              f"{result.traffic_bytes():>11} "
+              f"{100 * result.used_fraction():>6.1f}% "
+              f"{result.flit_hops():>10} {result.exec_cycles():>10}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+    from repro.experiments.runner import ExperimentSettings, ResultMatrix
+
+    settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
+                                  seed=args.seed)
+    matrix = ResultMatrix(settings)
+    if args.out:
+        with open(args.out, "w") as fh:
+            write_report(matrix, out=fh)
+        print(f"report written to {args.out}")
+    else:
+        write_report(matrix)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.verification.random_tester import RandomTester
+
+    kinds = ([_protocol(args.protocol)] if args.protocol else list(ProtocolKind))
+    for kind in kinds:
+        config = SystemConfig(protocol=kind, cores=args.cores,
+                              three_hop=args.three_hop,
+                              l1_organization=L1Organization(args.substrate),
+                              predictor=PredictorKind(args.predictor))
+        tester = RandomTester(config, regions=args.regions, seed=args.seed,
+                              same_set=args.same_set, check_every=8)
+        report = tester.run(args.accesses)
+        print(f"{kind.short_name:>6}: OK  {report.coverage()}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.trace.analysis import profile_workload
+
+    print(f"{'workload':>18} {'wr%':>5} {'regions':>8} {'density':>8} "
+          f"{'private':>8} {'rd-shr':>7} {'true-shr':>9} {'false-shr':>10}")
+    names = [args.workload] if args.workload else sorted(WORKLOADS)
+    for name in names:
+        p = profile_workload(name, cores=args.cores, per_core=args.scale,
+                             seed=args.seed)
+        s = p.summary()
+        print(f"{name:>18} {100 * s['write_frac']:>4.0f}% {s['regions']:>8} "
+              f"{s['density_words']:>8.2f} {s['private']:>8.2f} "
+              f"{s['read_shared']:>7.2f} {s['true_shared']:>9.2f} "
+              f"{s['false_shared']:>10.2f}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.trace.io import write_trace
+
+    streams = build_streams(args.workload, cores=args.cores,
+                            per_core=args.scale, seed=args.seed)
+    with open(args.out, "w") as fh:
+        count = write_trace(streams, fh)
+    print(f"{count} records ({args.cores} cores) written to {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.trace.io import read_trace
+
+    with open(args.trace) as fh:
+        streams = read_trace(fh)
+    protocol = _protocol(args.protocol)
+    config = _config(args, protocol)
+    if len(streams) > config.cores:
+        raise SystemExit(f"trace has {len(streams)} cores; pass --cores")
+    result = simulate(streams, config, name=args.trace)
+    _print_summary(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Protozoa: adaptive granularity cache coherence (ISCA'13) "
+                    "— reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled workloads").set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="simulate one workload/protocol")
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    p.add_argument("--protocol", default="mw")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="one workload under all protocols")
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("report", help="regenerate every table/figure")
+    p.add_argument("--out", default="")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("verify", help="run the random protocol tester")
+    p.add_argument("--protocol", default="")
+    p.add_argument("--accesses", type=int, default=5000)
+    p.add_argument("--regions", type=int, default=8)
+    p.add_argument("--same-set", action="store_true",
+                   help="force capacity churn (all regions in one L1 set)")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("inspect", help="profile workloads' sharing/locality")
+    p.add_argument("--workload", default="", choices=[""] + sorted(WORKLOADS))
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("trace", help="dump a workload trace to a file")
+    p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    p.add_argument("--out", required=True)
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a saved trace file")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--protocol", default="mw")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

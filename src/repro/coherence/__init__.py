@@ -1,0 +1,20 @@
+"""Coherence protocols: MESI baseline and the Protozoa family."""
+
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.messages import MsgCategory, MsgType
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.protozoa_sw import ProtozoaSWProtocol
+from repro.coherence.protozoa_multi import ProtozoaMWProtocol, ProtozoaSWMRProtocol
+from repro.coherence.protocol_base import CoherenceProtocol
+
+__all__ = [
+    "CoherenceProtocol",
+    "Directory",
+    "DirectoryEntry",
+    "MESIProtocol",
+    "MsgCategory",
+    "MsgType",
+    "ProtozoaMWProtocol",
+    "ProtozoaSWMRProtocol",
+    "ProtozoaSWProtocol",
+]

@@ -1,0 +1,110 @@
+"""The in-cache coherence directory, indexed at REGION granularity.
+
+All four protocols share this structure (a design point the paper stresses:
+Protozoa re-uses the conventional fixed-granularity directory).  Per entry:
+
+* ``readers`` — cores possibly caching some word of the region read-only;
+* ``writers`` — cores possibly caching some word dirty.  MESI and
+  Protozoa-SW keep at most one writer; Protozoa-SW+MR tracks the single
+  writer with log(P) extra bits; Protozoa-MW doubles the sharer vector to a
+  full reader vector + writer vector.
+
+Because clean blocks may be dropped silently, the directory is a
+*superset* of true sharers — probes of departed cores draw NACKs, exactly
+the traffic the paper reports for rev-index et al.
+
+The directory also collects the Figure 11 statistic: every lookup of an
+entry in Owned state (>= 1 writer) is bucketed by its sharer census.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+
+class DirectoryEntry:
+    """Sharer bookkeeping for one REGION."""
+
+    __slots__ = ("readers", "writers")
+
+    def __init__(self):
+        self.readers: Set[int] = set()
+        self.writers: Set[int] = set()
+
+    @property
+    def owned(self) -> bool:
+        """At least one word of the region may be dirty in some L1."""
+        return bool(self.writers)
+
+    @property
+    def unused(self) -> bool:
+        return not self.readers and not self.writers
+
+    def sharers(self) -> Set[int]:
+        """Everyone the directory would probe on a write miss."""
+        return self.readers | self.writers
+
+    def sole_owner(self) -> Optional[int]:
+        """The owner when exactly one writer is tracked, else None."""
+        if len(self.writers) == 1:
+            return next(iter(self.writers))
+        return None
+
+    def drop(self, core: int) -> None:
+        self.readers.discard(core)
+        self.writers.discard(core)
+
+    def __repr__(self) -> str:
+        return f"DirEntry(readers={sorted(self.readers)}, writers={sorted(self.writers)})"
+
+
+class Directory:
+    """Region -> entry map plus the Owned-state access histogram."""
+
+    def __init__(self):
+        self._entries: Dict[int, DirectoryEntry] = {}
+        # Figure 11 buckets: accesses to entries in Owned state.
+        self.owned_one_owner_only = 0
+        self.owned_one_owner_with_sharers = 0
+        self.owned_multi_owner = 0
+
+    def entry(self, region: int) -> DirectoryEntry:
+        """The entry for ``region``, creating an empty one on first touch."""
+        entry = self._entries.get(region)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[region] = entry
+        return entry
+
+    def peek(self, region: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(region)
+
+    def lookup(self, region: int) -> DirectoryEntry:
+        """Entry lookup on the request path; records Figure 11 buckets."""
+        entry = self.entry(region)
+        if entry.owned:
+            if len(entry.writers) > 1:
+                self.owned_multi_owner += 1
+            elif entry.readers - entry.writers:
+                self.owned_one_owner_with_sharers += 1
+            else:
+                self.owned_one_owner_only += 1
+        return entry
+
+    def forget(self, region: int) -> None:
+        """Drop an entry entirely (L2 recall path)."""
+        self._entries.pop(region, None)
+
+    def owned_access_buckets(self) -> Dict[str, int]:
+        """Figure 11 histogram: {'1owner', '1owner+sharers', '>1owner'}."""
+        return {
+            "1owner": self.owned_one_owner_only,
+            "1owner+sharers": self.owned_one_owner_with_sharers,
+            ">1owner": self.owned_multi_owner,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries.items())

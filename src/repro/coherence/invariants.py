@@ -1,0 +1,115 @@
+"""Run-time coherence invariant checking (the paper's Section 3.6).
+
+The paper argues correctness as: (i) with fixed-granularity predictions,
+Protozoa's transitions match MESI's; (ii) Protozoa-SW implements the
+Single-Writer-or-Multiple-Readers (SWMR) invariant at REGION granularity;
+(iii) Protozoa-MW (and SW+MR) implement SWMR effectively at *word*
+granularity.  This module turns those statements into executable checks,
+run after every transaction when ``SystemConfig.check_invariants`` is set
+and exercised heavily by the random tester.
+
+Checked per region:
+
+* word-granularity SWMR — a word covered by any M/E block at one core is
+  covered by no block at any other core (for MESI/Protozoa-SW the stronger
+  region-granularity form: a region with a writer has no other sharers);
+* the directory is a *superset* of true sharers (clean drops are silent,
+  so strict equality is not required), writers/readers sets respect each
+  protocol's arity, and every dirty word belongs to a directory writer;
+* structural cache integrity (no overlapping blocks, budgets respected).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import InvariantViolation
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.protocol_base import CoherenceProtocol
+
+
+def check_region(protocol: "CoherenceProtocol", region: int) -> None:
+    """Assert all coherence invariants for one region."""
+    kind = protocol.config.protocol
+    words = protocol.config.words_per_region
+    entry = protocol.directory.peek(region)
+    readers = entry.readers if entry else set()
+    writers = entry.writers if entry else set()
+
+    write_holder = [None] * words  # core with M/E coverage per word
+    read_holders = [set() for _ in range(words)]
+    cores_with_blocks = set()
+    cores_with_excl = set()
+
+    for core, l1 in enumerate(protocol.l1s):
+        for block in l1.blocks_of(region):
+            cores_with_blocks.add(core)
+            if block.state in (LineState.M, LineState.E):
+                cores_with_excl.add(core)
+            for word in block.range.words():
+                if block.state in (LineState.M, LineState.E):
+                    if write_holder[word] is not None:
+                        raise InvariantViolation(
+                            f"R{region}:{word} writable at cores "
+                            f"{write_holder[word]} and {core}"
+                        )
+                    write_holder[word] = core
+                read_holders[word].add(core)
+
+    # Word-granularity SWMR: a writable word has exactly one holder.
+    for word in range(words):
+        holder = write_holder[word]
+        if holder is not None and read_holders[word] != {holder}:
+            raise InvariantViolation(
+                f"R{region}:{word} writable at {holder} but cached at "
+                f"{sorted(read_holders[word])}"
+            )
+
+    # Region-granularity SWMR for the single-writer protocols.
+    if kind in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_SW):
+        if cores_with_excl and cores_with_blocks != cores_with_excl:
+            raise InvariantViolation(
+                f"R{region}: region-level SWMR broken — exclusive at "
+                f"{sorted(cores_with_excl)}, cached at {sorted(cores_with_blocks)}"
+            )
+        if len(cores_with_excl) > 1:
+            raise InvariantViolation(
+                f"R{region}: multiple exclusive holders {sorted(cores_with_excl)}"
+            )
+
+    # Directory superset: every caching core must be tracked.
+    untracked = cores_with_blocks - (readers | writers)
+    if untracked:
+        raise InvariantViolation(
+            f"R{region}: cores {sorted(untracked)} cache blocks but are "
+            f"untracked (readers={sorted(readers)}, writers={sorted(writers)})"
+        )
+
+    # Every exclusive holder must be tracked as a writer.
+    missing = cores_with_excl - writers
+    if missing:
+        raise InvariantViolation(
+            f"R{region}: exclusive holders {sorted(missing)} not in writers "
+            f"{sorted(writers)}"
+        )
+
+    # Writer-arity per protocol.
+    if kind is not ProtocolKind.PROTOZOA_MW and len(writers) > 1:
+        raise InvariantViolation(
+            f"R{region}: {kind.value} tracked multiple writers {sorted(writers)}"
+        )
+    # Single-writer protocols never track a writer alongside other sharers.
+    if kind in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_SW) and writers:
+        others = (readers | writers) - writers
+        if others:
+            raise InvariantViolation(
+                f"R{region}: {kind.value} tracks writer {sorted(writers)} with "
+                f"other sharers {sorted(others)}"
+            )
+
+    # Structural integrity of every L1 (cheap for the touched sets).
+    for l1 in protocol.l1s:
+        l1.check_integrity()

@@ -1,0 +1,68 @@
+"""The baseline: a conventional 4-hop MESI directory protocol.
+
+Fixed-granularity everything: storage/communication, coherence, and
+metadata all use the block size (64 bytes by default).  Data always moves
+as whole blocks; a write miss invalidates every sharer of the block; an
+owner holding the block dirty is forwarded the request and writes the whole
+block back through the shared L2 (4-hop).
+
+Silent clean evictions make the directory a superset of true sharers, so
+probes of departed cores draw NACKs — the same behaviour the Protozoa
+variants inherit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coherence.directory import DirectoryEntry
+from repro.coherence.messages import MsgType
+from repro.coherence.protocol_base import CoherenceProtocol
+from repro.common.errors import ProtocolError
+from repro.common.params import ProtocolKind
+from repro.common.wordrange import WordRange
+from repro.memory.block import LineState
+
+
+class MESIProtocol(CoherenceProtocol):
+    """Fixed-granularity MESI with an in-cache directory at the shared L2."""
+
+    kind = ProtocolKind.MESI
+
+    def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry, home: int) -> List[int]:
+        legs: List[int] = []
+        if not is_write:
+            owner = entry.sole_owner()
+            if len(entry.writers) > 1:
+                raise ProtocolError(f"MESI tracked multiple owners for R{region}")
+            if owner is not None and owner != core:
+                legs.append(self._downgrade_region_at(owner, region, home))
+        else:
+            if len(entry.writers) > 1:
+                raise ProtocolError(f"MESI tracked multiple owners for R{region}")
+            for target in sorted(entry.sharers() - {core}):
+                mtype = MsgType.FWD_GETX if target in entry.writers else MsgType.INV
+                legs.append(self._invalidate_region_at(target, region, home, mtype))
+        return legs
+
+    def _grant(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry) -> LineState:
+        if is_write:
+            entry.readers.discard(core)
+            if entry.readers:
+                raise ProtocolError(
+                    f"R{region}: readers {sorted(entry.readers)} survive a GETX"
+                )
+            entry.writers = {core}
+            return LineState.M
+        if entry.sole_owner() == core:
+            # The requester is the tracked owner (e.g. it silently dropped
+            # an E block): it stays exclusive.
+            return LineState.E
+        if not entry.sharers() - {core}:
+            entry.readers.discard(core)
+            entry.writers = {core}  # E holders are tracked as owners
+            return LineState.E
+        entry.readers.add(core)
+        return LineState.S

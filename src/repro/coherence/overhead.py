@@ -1,0 +1,78 @@
+"""Coherence metadata storage model (paper Section 3.6).
+
+Quantifies each protocol's directory/metadata cost, reproducing the
+paper's complexity claims as numbers:
+
+* MESI and Protozoa-SW: one P-bit sharer vector per directory entry
+  (identical size — Protozoa-SW re-uses the MESI structure);
+* Protozoa-SW+MR: one P-bit vector plus ceil(log2 P) bits to name the
+  single writer;
+* Protozoa-MW: two P-bit vectors (readers and writers separately);
+* control messages stay at 8 bytes for every protocol (Table 3 notes "no
+  change to the size of control metadata is required").
+
+The in-cache directory collocates one entry per L2 region, so total
+directory storage scales with L2 capacity / region size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.params import ProtocolKind, SystemConfig
+
+
+@dataclass(frozen=True)
+class DirectoryOverhead:
+    """Metadata sizing for one configuration."""
+
+    protocol: ProtocolKind
+    cores: int
+    entries: int
+    bits_per_entry: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.total_bits + 7) // 8
+
+    def overhead_vs_l2(self, l2_bytes: int) -> float:
+        """Directory bytes as a fraction of the L2 data array."""
+        return self.total_bytes / float(l2_bytes)
+
+
+def entry_bits(protocol: ProtocolKind, cores: int) -> int:
+    """Directory entry size in bits for ``cores`` sharers."""
+    vector = cores
+    if protocol in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_SW):
+        return vector
+    if protocol is ProtocolKind.PROTOZOA_SW_MR:
+        return vector + max(math.ceil(math.log2(cores)), 1)
+    if protocol is ProtocolKind.PROTOZOA_MW:
+        return 2 * vector
+    raise ValueError(f"unknown protocol {protocol}")
+
+
+def directory_overhead(config: SystemConfig) -> DirectoryOverhead:
+    """Directory sizing for a machine configuration (in-cache directory)."""
+    entries = config.l2.capacity_bytes // config.region_bytes
+    return DirectoryOverhead(
+        protocol=config.protocol,
+        cores=config.cores,
+        entries=entries,
+        bits_per_entry=entry_bits(config.protocol, config.cores),
+    )
+
+
+def overhead_table(cores: int = 16) -> str:
+    """Render the Section 3.6 comparison for all four protocols."""
+    lines = [f"{'protocol':>10} {'entry bits':>11} {'vs MESI':>8}"]
+    base = entry_bits(ProtocolKind.MESI, cores)
+    for protocol in ProtocolKind:
+        bits = entry_bits(protocol, cores)
+        lines.append(f"{protocol.short_name:>10} {bits:>11} {bits / base:>8.2f}")
+    return "\n".join(lines)

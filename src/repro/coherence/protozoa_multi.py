@@ -1,0 +1,248 @@
+"""Protozoa-SW+MR and Protozoa-MW: adaptive coherence granularity.
+
+Both protocols keep the fixed-granularity directory but make probed L1s
+*overlap-aware*: an incoming request carries its word range, and a sharer
+whose sub-blocks do not intersect it answers ACK-S ("invalidation
+acknowledged, keep tracking me") and keeps its data — this is what kills
+the false-sharing ping-pong.
+
+* **Protozoa-SW+MR** tracks one writer (log P extra directory bits) plus a
+  reader vector: multiple readers coexist with one non-overlapping writer.
+  A new writer *revokes* the old one entirely (it writes back and becomes a
+  reader of its non-overlapping data), so subsequent readers need not ping
+  it — the control-traffic trade-off of Section 3.5.
+* **Protozoa-MW** doubles the directory entry into full reader and writer
+  vectors: multiple disjoint writers coexist, implementing SWMR effectively
+  at word granularity.  The directory does not know *which* words each
+  sharer holds, so write misses probe every tracked sharer; non-overlapping
+  ones stay put and answer ACK-S — extra control messages (but no data)
+  exactly as the paper reports for apache/rev-index/radix.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coherence.directory import DirectoryEntry
+from repro.coherence.messages import MsgType
+from repro.coherence.protocol_base import CoherenceProtocol
+from repro.common.errors import ProtocolError
+from repro.common.params import ProtocolKind
+from repro.common.wordrange import WordRange
+from repro.memory.block import LineState
+
+
+class _OverlapAwareProtocol(CoherenceProtocol):
+    """Shared machinery: overlap-aware probe legs and membership refresh."""
+
+    def _refresh(self, entry: DirectoryEntry, target: int, region: int) -> None:
+        """Re-derive the target's directory membership from its cache.
+
+        Hardware encodes this in the reply type (ACK vs ACK-S vs
+        WBACK-LAST); the model just inspects the cache the reply would
+        summarize.
+        """
+        blocks = self.l1s[target].blocks_of(region)
+        if not blocks:
+            entry.drop(target)
+            return
+        if any(b.state in (LineState.M, LineState.E) for b in blocks):
+            entry.writers.add(target)
+            entry.readers.discard(target)
+        else:
+            entry.writers.discard(target)
+            entry.readers.add(target)
+
+    def _probe_overlap_read(self, target: int, region: int, req: WordRange,
+                            home: int, entry: DirectoryEntry) -> int:
+        """GETS probe of a (potential) writer: downgrade overlapping M/E.
+
+        Overlapping dirty sub-blocks are written back (full contents) and
+        kept as clean shared copies; non-overlapping data is untouched.
+        """
+        l1 = self.l1s[target]
+        target_node = self.topology.core_node(target)
+        request_lat = self._send(MsgType.FWD_GETS, home, target_node)
+        blocks = l1.blocks_of(region)
+        if not blocks:
+            reply_lat = self._send(MsgType.NACK, target_node, home)
+            entry.drop(target)
+            return self._probe_leg_latency(home, target, 0, request_lat, reply_lat)
+        conflicting = [
+            b for b in blocks
+            if b.range.overlaps(req) and b.state in (LineState.M, LineState.E)
+        ]
+        self.mshrs[target].note_multi_block(from_cpu=False, blocks=len(conflicting))
+        payload, used = self._writeback_blocks(target, conflicting)
+        for block in conflicting:
+            block.dirty_mask = 0
+            block.state = LineState.S
+        if payload:
+            self._note_supplier_snoop_latency(
+                target,
+                request_lat + self.config.l1.hit_latency + max(len(conflicting) - 1, 0))
+            reply_lat = self._send(MsgType.WBACK, target_node, home, payload, used)
+            self.stats.writebacks += 1
+        else:
+            reply_lat = self._send(MsgType.ACK_S, target_node, home)
+        self._refresh(entry, target, region)
+        return self._probe_leg_latency(
+            home, target, len(conflicting), request_lat, reply_lat
+        )
+
+    def _probe_overlap_write(self, target: int, region: int, req: WordRange,
+                             home: int, entry: DirectoryEntry,
+                             as_writer: bool) -> int:
+        """GETX probe: invalidate only the target's *overlapping* sub-blocks."""
+        l1 = self.l1s[target]
+        target_node = self.topology.core_node(target)
+        mtype = MsgType.FWD_GETX if as_writer else MsgType.INV
+        request_lat = self._send(mtype, home, target_node)
+        blocks = l1.blocks_of(region)
+        if not blocks:
+            reply_lat = self._send(MsgType.NACK, target_node, home)
+            entry.drop(target)
+            return self._probe_leg_latency(home, target, 0, request_lat, reply_lat)
+        overlapping = [b for b in blocks if b.range.overlaps(req)]
+        self.mshrs[target].note_multi_block(from_cpu=False, blocks=len(overlapping))
+        payload, used = self._writeback_blocks(target, overlapping)
+        for block in overlapping:
+            l1.remove(block)
+            self._retire_block(target, block, invalidated=True)
+        remaining = len(blocks) - len(overlapping)
+        if payload:
+            self._note_supplier_snoop_latency(
+                target,
+                request_lat + self.config.l1.hit_latency + max(len(overlapping) - 1, 0))
+            reply_lat = self._send(MsgType.WBACK, target_node, home, payload, used)
+            self.stats.writebacks += 1
+        elif remaining:
+            reply_lat = self._send(MsgType.ACK_S, target_node, home)
+        else:
+            reply_lat = self._send(MsgType.ACK, target_node, home)
+        self._refresh(entry, target, region)
+        return self._probe_leg_latency(
+            home, target, max(len(overlapping), 1), request_lat, reply_lat
+        )
+
+
+class ProtozoaMWProtocol(_OverlapAwareProtocol):
+    """Multiple non-overlapping writers per region (word-granularity SWMR)."""
+
+    kind = ProtocolKind.PROTOZOA_MW
+
+    def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry, home: int) -> List[int]:
+        legs: List[int] = []
+        if not is_write:
+            # Readers coexist freely; only (potential) writers are probed.
+            for target in sorted(entry.writers - {core}):
+                legs.append(self._probe_overlap_read(target, region, req, home, entry))
+            return legs
+        for target in sorted(entry.sharers() - {core}):
+            legs.append(
+                self._probe_overlap_write(
+                    target, region, req, home, entry, as_writer=target in entry.writers
+                )
+            )
+        return legs
+
+    def _grant(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry) -> LineState:
+        if is_write:
+            entry.writers.add(core)
+            entry.readers.discard(core)
+            return LineState.M
+        if not entry.sharers() - {core}:
+            # Exclusive grant: track as a (potential) writer so a silent
+            # E->M upgrade is still probed by later requests.
+            entry.writers.add(core)
+            entry.readers.discard(core)
+            return LineState.E
+        if core not in entry.writers:
+            entry.readers.add(core)
+        return LineState.S
+
+
+class ProtozoaSWMRProtocol(_OverlapAwareProtocol):
+    """One writer coexisting with non-overlapping readers (Section 3.5)."""
+
+    kind = ProtocolKind.PROTOZOA_SW_MR
+
+    def _revoke_writer(self, target: int, region: int, req: WordRange,
+                       home: int, entry: DirectoryEntry) -> int:
+        """A new writer appears: the old writer loses write permission.
+
+        All its dirty sub-blocks are written back; overlapping sub-blocks
+        are invalidated; non-overlapping ones are downgraded to S and kept
+        (the downgraded writer "remains a sharer").
+        """
+        l1 = self.l1s[target]
+        target_node = self.topology.core_node(target)
+        request_lat = self._send(MsgType.FWD_GETX, home, target_node)
+        blocks = l1.blocks_of(region)
+        if not blocks:
+            reply_lat = self._send(MsgType.NACK, target_node, home)
+            entry.drop(target)
+            return self._probe_leg_latency(home, target, 0, request_lat, reply_lat)
+        dirty_blocks = [b for b in blocks if b.dirty]
+        self.mshrs[target].note_multi_block(from_cpu=False, blocks=len(blocks))
+        payload, used = self._writeback_blocks(target, dirty_blocks)
+        remaining = 0
+        for block in blocks:
+            if block.range.overlaps(req):
+                l1.remove(block)
+                self._retire_block(target, block, invalidated=True)
+            else:
+                block.dirty_mask = 0
+                block.state = LineState.S
+                remaining += 1
+        if payload:
+            self._note_supplier_snoop_latency(
+                target, request_lat + self.config.l1.hit_latency + len(blocks) - 1)
+            reply_lat = self._send(MsgType.WBACK, target_node, home, payload, used)
+            self.stats.writebacks += 1
+        elif remaining:
+            reply_lat = self._send(MsgType.ACK_S, target_node, home)
+        else:
+            reply_lat = self._send(MsgType.ACK, target_node, home)
+        entry.writers.discard(target)
+        if remaining:
+            entry.readers.add(target)
+        else:
+            entry.drop(target)
+        return self._probe_leg_latency(home, target, len(blocks), request_lat, reply_lat)
+
+    def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry, home: int) -> List[int]:
+        if len(entry.writers) > 1:
+            raise ProtocolError(f"SW+MR tracked multiple writers for R{region}")
+        legs: List[int] = []
+        writer = entry.sole_owner()
+        if not is_write:
+            if writer is not None and writer != core:
+                legs.append(self._probe_overlap_read(writer, region, req, home, entry))
+            return legs
+        if writer is not None and writer != core:
+            legs.append(self._revoke_writer(writer, region, req, home, entry))
+        for target in sorted(entry.readers - {core}):
+            legs.append(
+                self._probe_overlap_write(target, region, req, home, entry, as_writer=False)
+            )
+        return legs
+
+    def _grant(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry) -> LineState:
+        if is_write:
+            entry.writers = {core}
+            entry.readers.discard(core)
+            return LineState.M
+        if entry.sole_owner() == core:
+            return LineState.S if entry.readers - {core} else LineState.E
+        if not entry.sharers() - {core}:
+            # Exclusive grant is tracked as the writer (silent E->M).
+            entry.writers = {core}
+            entry.readers.discard(core)
+            return LineState.E
+        entry.readers.add(core)
+        return LineState.S

@@ -1,0 +1,77 @@
+"""Protozoa-SW: adaptive storage/communication, fixed coherence granularity.
+
+The L1s are Amoeba caches holding variable-granularity sub-blocks; data
+messages carry only the predicted/requested words.  Coherence is still
+enforced at REGION granularity with a single writer: when any core writes
+any word of a region, every other sharer of the region is invalidated
+entirely (which is what leaves false sharing intact — the protocol's
+deliberate limitation that SW+MR and MW lift).
+
+The paper's add-ons over MESI (Section 3.3) appear here naturally:
+
+* *Additional GETXs from the owner* — the directory checks whether a write
+  request comes from the tracked owner and simply returns the data.
+* *Multiple writebacks from the owner* — handled by the engine's
+  WBACK/WBACK-LAST split: the directory keeps tracking a sharer until the
+  final block of the region leaves its cache.
+* Multi-block snoops use the CHECK/GATHER/WRITEBACK sequence: one gathered
+  writeback message per coherence operation, regardless of how many
+  sub-blocks the target held.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.coherence.directory import DirectoryEntry
+from repro.coherence.messages import MsgType
+from repro.coherence.protocol_base import CoherenceProtocol
+from repro.common.errors import ProtocolError
+from repro.common.params import ProtocolKind
+from repro.common.wordrange import WordRange
+from repro.memory.block import LineState
+
+
+class ProtozoaSWProtocol(CoherenceProtocol):
+    """Single-writer Protozoa: variable data movement, region coherence."""
+
+    kind = ProtocolKind.PROTOZOA_SW
+
+    def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry, home: int) -> List[int]:
+        if len(entry.writers) > 1:
+            raise ProtocolError(f"Protozoa-SW tracked multiple owners for R{region}")
+        legs: List[int] = []
+        owner = entry.sole_owner()
+        if not is_write:
+            if owner is not None and owner != core:
+                legs.append(self._downgrade_region_at(owner, region, home))
+            return legs
+        if owner == core:
+            # Additional GETX from the owner: serve data, probe nobody.
+            return legs
+        for target in sorted(entry.sharers() - {core}):
+            mtype = MsgType.FWD_GETX if target in entry.writers else MsgType.INV
+            legs.append(self._invalidate_region_at(target, region, home, mtype))
+        return legs
+
+    def _grant(self, core: int, region: int, req: WordRange, is_write: bool,
+               entry: DirectoryEntry) -> LineState:
+        if is_write:
+            entry.readers.discard(core)
+            if entry.readers:
+                raise ProtocolError(
+                    f"R{region}: readers {sorted(entry.readers)} survive a GETX"
+                )
+            entry.writers = {core}
+            return LineState.M
+        if entry.sole_owner() == core:
+            # Owner read-missing on further words of its own region: it
+            # remains the exclusive region owner.
+            return LineState.E
+        if not entry.sharers() - {core}:
+            entry.readers.discard(core)
+            entry.writers = {core}
+            return LineState.E
+        entry.readers.add(core)
+        return LineState.S

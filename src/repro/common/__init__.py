@@ -1,0 +1,23 @@
+"""Shared primitives: word ranges, address arithmetic, configuration."""
+
+from repro.common.addresses import AddressMap
+from repro.common.errors import ConfigError, ProtocolError, SimulationError
+from repro.common.params import (
+    CacheGeometry,
+    NetworkConfig,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.common.wordrange import WordRange
+
+__all__ = [
+    "AddressMap",
+    "CacheGeometry",
+    "ConfigError",
+    "NetworkConfig",
+    "ProtocolError",
+    "ProtocolKind",
+    "SimulationError",
+    "SystemConfig",
+    "WordRange",
+]

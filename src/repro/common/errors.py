@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Protozoa reproduction.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached a state that should be unreachable.
+
+    Raised by the protocol engines when a message arrives that the current
+    directory or L1 state cannot legally handle — in hardware this would be
+    a verification failure, so the simulator refuses to continue.
+    """
+
+
+class InvariantViolation(ProtocolError):
+    """A coherence invariant (e.g. SWMR) was observed to be broken."""
+
+
+class SimulationError(ReproError):
+    """The simulation harness was driven incorrectly (bad trace, etc.)."""

@@ -1,0 +1,184 @@
+"""System configuration (the paper's Table 4, as data).
+
+Defaults reproduce the evaluated machine: 16 in-order cores, private
+Amoeba-Cache L1s (256 sets x 288 B/set, 2-cycle), a shared inclusive tiled
+L2 (16 tiles, 8-way, 14-cycle) acting as the coherence point with an
+in-cache directory, a 4x4 mesh with 16-byte flits and 2-cycle links, and
+300-cycle main memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.common.addresses import WORD_BYTES
+from repro.common.errors import ConfigError
+
+CONTROL_MESSAGE_BYTES = 8  # paper: control metadata is 8 bytes in the base protocol
+
+
+class ProtocolKind(enum.Enum):
+    """The four evaluated coherence designs."""
+
+    MESI = "mesi"
+    PROTOZOA_SW = "protozoa-sw"
+    PROTOZOA_SW_MR = "protozoa-sw+mr"
+    PROTOZOA_MW = "protozoa-mw"
+
+    @property
+    def adaptive_storage(self) -> bool:
+        """True for designs that fetch/cache variable-granularity blocks."""
+        return self is not ProtocolKind.MESI
+
+    @property
+    def short_name(self) -> str:
+        return {
+            ProtocolKind.MESI: "MESI",
+            ProtocolKind.PROTOZOA_SW: "SW",
+            ProtocolKind.PROTOZOA_SW_MR: "SW+MR",
+            ProtocolKind.PROTOZOA_MW: "MW",
+        }[self]
+
+
+class L1Organization(enum.Enum):
+    """Variable-granularity L1 substrate (paper Section 3.1 alternatives)."""
+
+    AMOEBA = "amoeba"  # Amoeba-Cache: per-set byte budget, collocated tags
+    SECTOR = "sector"  # decoupled sector cache: region tags + word validity
+
+
+class PredictorKind(enum.Enum):
+    """Spatial-granularity predictors for the Amoeba L1 (ablation axis)."""
+
+    PC_HISTORY = "pc-history"  # the Amoeba-Cache paper's PC-based predictor
+    WHOLE_REGION = "whole-region"  # always fetch the full region
+    SINGLE_WORD = "single-word"  # always fetch exactly the missed words
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one private L1 cache.
+
+    The Amoeba organisation budgets bytes per set (data + collocated tags);
+    the fixed organisation uses the classic sets x ways x block layout.  The
+    default fixed geometry matches the Amoeba byte budget as closely as a
+    power-of-two organisation allows (the comparison the paper makes).
+    """
+
+    sets: int = 256
+    set_bytes: int = 288  # Amoeba: per-set byte budget (data + tags)
+    tag_bytes: int = 8  # Amoeba: cost of one collocated tag
+    fixed_ways: int = 4  # fixed caches: associativity
+    hit_latency: int = 2
+
+    def __post_init__(self):
+        if self.sets <= 0 or self.set_bytes <= 0:
+            raise ConfigError("cache geometry must be positive")
+        if self.tag_bytes < 0 or self.fixed_ways <= 0:
+            raise ConfigError("cache geometry must be positive")
+
+    @property
+    def amoeba_capacity(self) -> int:
+        """Total byte budget of the Amoeba organisation."""
+        return self.sets * self.set_bytes
+
+    def fixed_sets(self, block_bytes: int) -> int:
+        """Set count for a fixed cache of matching capacity at ``block_bytes``."""
+        sets = self.amoeba_capacity // (self.fixed_ways * (block_bytes + self.tag_bytes))
+        if sets <= 0:
+            raise ConfigError(f"block size {block_bytes} too large for geometry")
+        return sets
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Shared, inclusive, tiled L2 (the coherence point)."""
+
+    tiles: int = 16
+    tile_kib: int = 2048  # 2 MB per tile
+    ways: int = 8
+    hit_latency: int = 14
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.tiles * self.tile_kib * 1024
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """4x4 mesh with XY routing, 16-byte flits."""
+
+    mesh_width: int = 4
+    mesh_height: int = 4
+    flit_bytes: int = 16
+    link_latency: int = 2
+    router_latency: int = 1
+
+    def __post_init__(self):
+        if self.mesh_width <= 0 or self.mesh_height <= 0:
+            raise ConfigError("mesh dimensions must be positive")
+        if self.flit_bytes <= 0:
+            raise ConfigError("flit size must be positive")
+
+    @property
+    def nodes(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one simulated machine."""
+
+    protocol: ProtocolKind = ProtocolKind.MESI
+    cores: int = 16
+    region_bytes: int = 64  # REGION: directory/coherence-metadata granularity
+    block_bytes: int = 64  # fixed protocols: storage/communication granularity
+    l1: CacheGeometry = field(default_factory=CacheGeometry)
+    l2: L2Config = field(default_factory=L2Config)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    predictor: PredictorKind = PredictorKind.PC_HISTORY
+    l1_organization: L1Organization = L1Organization.AMOEBA
+    memory_latency: int = 300
+    # 3-hop forwarding (paper Section 6): a single dirty owner whose
+    # writeback covers the whole requested payload sends DATA directly to
+    # the requester; corner cases (partial overlap, stale owner, multiple
+    # suppliers) fall back to the 4-hop path through the L2.
+    three_hop: bool = False
+    check_invariants: bool = False
+    check_values: bool = False
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ConfigError("need at least one core")
+        if self.cores > self.network.nodes:
+            raise ConfigError(
+                f"{self.cores} cores do not fit a {self.network.nodes}-node mesh"
+            )
+        if self.region_bytes % WORD_BYTES:
+            raise ConfigError("region size must be a whole number of words")
+        if self.block_bytes % WORD_BYTES:
+            raise ConfigError("block size must be a whole number of words")
+        if self.block_bytes != self.region_bytes:
+            # MESI tracks coherence at its block size, so the directory
+            # granularity (region) always equals the block size; Protozoa
+            # fixes both at the REGION size.  Either way they must agree.
+            raise ConfigError("block_bytes must equal region_bytes")
+
+    @property
+    def words_per_region(self) -> int:
+        return self.region_bytes // WORD_BYTES
+
+    def with_protocol(self, protocol: ProtocolKind) -> "SystemConfig":
+        """Copy of this config running a different protocol."""
+        return replace(self, protocol=protocol, block_bytes=self.region_bytes)
+
+    def with_block_bytes(self, block_bytes: int) -> "SystemConfig":
+        """Copy of this config at a different fixed block size (MESI only).
+
+        MESI's coherence granularity is its block size, so the directory
+        REGION tracks the block size during a sweep.
+        """
+        if self.protocol is not ProtocolKind.MESI:
+            raise ConfigError("block-size sweeps only apply to MESI")
+        return replace(self, block_bytes=block_bytes, region_bytes=block_bytes)

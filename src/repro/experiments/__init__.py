@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating every table/figure of the evaluation."""
+
+from repro.experiments.runner import (
+    ALL_PROTOCOLS,
+    ExperimentSettings,
+    ResultMatrix,
+    default_settings,
+)
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "ExperimentSettings",
+    "ResultMatrix",
+    "default_settings",
+]

@@ -1,0 +1,49 @@
+"""Figure 10: control-message breakdown (REQ / FWD / INV / ACK / NACK).
+
+Bytes of each control-message class sent/received at the L1, normalized to
+the *total* traffic of MESI for that application (so the bars are directly
+comparable with Figure 9's control segment).  Data-message headers are
+reported in their own column.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coherence.messages import MsgCategory
+from repro.common.params import ProtocolKind
+from repro.experiments.runner import ALL_PROTOCOLS, ResultMatrix, shared_matrix
+from repro.stats.tables import format_table
+
+CATEGORIES = [MsgCategory.REQ, MsgCategory.FWD, MsgCategory.INV,
+              MsgCategory.ACK, MsgCategory.NACK, MsgCategory.HDR]
+
+
+def rows(matrix: Optional[ResultMatrix] = None) -> List[List]:
+    matrix = matrix if matrix is not None else shared_matrix()
+    table: List[List] = []
+    for name in matrix.settings.workload_names():
+        base = matrix.run(name, ProtocolKind.MESI).traffic_bytes() or 1
+        for protocol in ALL_PROTOCOLS:
+            control = matrix.run(name, protocol).control_split()
+            table.append(
+                [name, protocol.short_name]
+                + [round(control[c.value] / base, 4) for c in CATEGORIES]
+            )
+    return table
+
+
+HEADERS = ["benchmark", "protocol"] + [c.value for c in CATEGORIES]
+
+
+def render(matrix: Optional[ResultMatrix] = None) -> str:
+    return format_table(HEADERS, rows(matrix))
+
+
+def main() -> None:
+    print("Figure 10: control traffic breakdown (fraction of MESI total)")
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

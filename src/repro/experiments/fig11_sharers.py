@@ -1,0 +1,52 @@
+"""Figure 11: sharer census of directory entries in the Owned state (MW).
+
+Every Protozoa-MW directory lookup that finds the entry Owned is bucketed
+by its census: exactly one owner and nothing else, one owner plus reader
+sharers, or multiple owners.  The paper highlights string-match (>90% of
+Owned lookups see >1 owner) versus raytrace (single-producer pattern,
+almost always one owner only).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import ProtocolKind
+from repro.experiments.runner import ResultMatrix, shared_matrix
+from repro.stats.tables import format_table
+
+BUCKETS = ["1owner", "1owner+sharers", ">1owner"]
+
+
+def rows(matrix: Optional[ResultMatrix] = None) -> List[List]:
+    matrix = matrix if matrix is not None else shared_matrix()
+    table: List[List] = []
+    for name in matrix.settings.workload_names():
+        result = matrix.run(name, ProtocolKind.PROTOZOA_MW)
+        buckets = result.dir_owned_buckets()
+        total = sum(buckets.values())
+        if total == 0:
+            table.append([name] + [0.0 for _ in BUCKETS] + [0])
+            continue
+        table.append(
+            [name]
+            + [round(buckets[b] / total, 4) for b in BUCKETS]
+            + [total]
+        )
+    return table
+
+
+HEADERS = ["benchmark"] + BUCKETS + ["owned-lookups"]
+
+
+def render(matrix: Optional[ResultMatrix] = None) -> str:
+    return format_table(HEADERS, rows(matrix))
+
+
+def main() -> None:
+    print("Figure 11: accesses to directory entries in Owned state (Protozoa-MW)")
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

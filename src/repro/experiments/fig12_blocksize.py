@@ -1,0 +1,43 @@
+"""Figure 12: distribution of cache-block granularities in the L1 (MW).
+
+Fraction of installed Amoeba-Blocks sized 1-2 / 3-4 / 5-6 / 7-8 words under
+Protozoa-MW.  Low-spatial-locality applications (blackscholes, bodytrack,
+canneal) should skew to 1-2 words; dense ones (linear-regression's input
+scan, matrix-multiply, kmeans) to 8 words.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.params import ProtocolKind
+from repro.experiments.runner import ResultMatrix, shared_matrix
+from repro.stats.tables import format_table
+
+BUCKETS = ["1-2", "3-4", "5-6", "7-8"]
+
+
+def rows(matrix: Optional[ResultMatrix] = None) -> List[List]:
+    matrix = matrix if matrix is not None else shared_matrix()
+    table: List[List] = []
+    for name in matrix.settings.workload_names():
+        result = matrix.run(name, ProtocolKind.PROTOZOA_MW)
+        buckets = result.block_size_buckets()
+        table.append([name] + [round(buckets[b], 4) for b in BUCKETS])
+    return table
+
+
+HEADERS = ["benchmark"] + [f"{b} words" for b in BUCKETS]
+
+
+def render(matrix: Optional[ResultMatrix] = None) -> str:
+    return format_table(HEADERS, rows(matrix))
+
+
+def main() -> None:
+    print("Figure 12: L1 block-size distribution under Protozoa-MW")
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

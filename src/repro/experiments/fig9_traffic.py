@@ -1,0 +1,68 @@
+"""Figure 9: breakdown of bytes sent/received at the L1 by information type.
+
+Four bars per application (MESI, Protozoa-SW, SW+MR, MW), each split into
+Used Data / Unused Data / Control and normalized to the MESI total.  The
+harness prints one row per (application, protocol) plus the geometric-mean
+total-traffic ratios the paper quotes (SW 0.74, SW+MR 0.66, MW 0.63 of
+MESI, i.e. 26% / 34% / 37% reductions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.params import ProtocolKind
+from repro.experiments.runner import ALL_PROTOCOLS, ResultMatrix, shared_matrix
+from repro.stats.tables import format_table, geomean
+
+
+def rows(matrix: Optional[ResultMatrix] = None) -> List[List]:
+    matrix = matrix if matrix is not None else shared_matrix()
+    table: List[List] = []
+    for name in matrix.settings.workload_names():
+        base = matrix.run(name, ProtocolKind.MESI).traffic_bytes() or 1
+        for protocol in ALL_PROTOCOLS:
+            result = matrix.run(name, protocol)
+            split = result.traffic_split()
+            table.append([
+                name,
+                protocol.short_name,
+                round(split["used"] / base, 4),
+                round(split["unused"] / base, 4),
+                round(split["control"] / base, 4),
+                round(result.traffic_bytes() / base, 4),
+            ])
+    return table
+
+
+def summary(matrix: Optional[ResultMatrix] = None) -> Dict[str, float]:
+    """Geometric-mean total-traffic ratio vs MESI per protocol."""
+    matrix = matrix if matrix is not None else shared_matrix()
+    out: Dict[str, float] = {}
+    for protocol in ALL_PROTOCOLS:
+        ratios = []
+        for name in matrix.settings.workload_names():
+            base = matrix.run(name, ProtocolKind.MESI).traffic_bytes() or 1
+            ratios.append(matrix.run(name, protocol).traffic_bytes() / base)
+        out[protocol.short_name] = geomean(ratios)
+    return out
+
+
+HEADERS = ["benchmark", "protocol", "used", "unused", "control", "total"]
+
+
+def render(matrix: Optional[ResultMatrix] = None) -> str:
+    matrix = matrix if matrix is not None else shared_matrix()
+    body = format_table(HEADERS, rows(matrix))
+    means = summary(matrix)
+    tail = "  ".join(f"{k}={v:.3f}" for k, v in means.items())
+    return f"{body}\n\ngeomean total vs MESI: {tail}"
+
+
+def main() -> None:
+    print("Figure 9: L1 traffic breakdown normalized to MESI")
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Regenerate the full evaluation in one pass.
+
+``python -m repro.experiments.report [output.txt]`` runs every table and
+figure harness against one shared run matrix and writes a single combined
+report (to stdout by default).  ``REPRO_SCALE`` / ``REPRO_WORKLOADS``
+control cost as everywhere else.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.experiments import (
+    fig9_traffic,
+    fig10_control,
+    fig11_sharers,
+    fig12_blocksize,
+    fig13_mpki,
+    fig14_exectime,
+    fig15_energy,
+    table1,
+)
+from repro.experiments.runner import ResultMatrix
+from repro.coherence.overhead import overhead_table
+from repro.stats.charts import hbar_chart
+
+SECTIONS = [
+    ("Table 1: MESI behaviour vs fixed block size (16->128 B)", table1),
+    ("Figure 9: L1 traffic breakdown normalized to MESI", fig9_traffic),
+    ("Figure 10: control traffic by message type", fig10_control),
+    ("Figure 11: directory Owned-state sharer census (Protozoa-MW)", fig11_sharers),
+    ("Figure 12: L1 block-size distribution (Protozoa-MW)", fig12_blocksize),
+    ("Figure 13: miss rate (MPKI)", fig13_mpki),
+    ("Figure 14: execution time relative to MESI", fig14_exectime),
+    ("Figure 15: interconnect flit-hops relative to MESI", fig15_energy),
+]
+
+
+def write_report(matrix: Optional[ResultMatrix] = None,
+                 out: TextIO = sys.stdout) -> None:
+    matrix = matrix if matrix is not None else ResultMatrix()
+    out.write("Protozoa reproduction: full evaluation report\n")
+    out.write(f"scale: {matrix.settings.per_core} accesses/core x "
+              f"{matrix.settings.cores} cores, "
+              f"{len(matrix.settings.workload_names())} workloads\n")
+    for title, module in SECTIONS:
+        start = time.time()
+        body = module.render(matrix)
+        out.write(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+        out.write(f"[{time.time() - start:.1f}s]\n")
+        out.flush()
+    out.write(f"\n{'=' * 72}\nHeadlines (geomean vs MESI)\n{'=' * 72}\n")
+    out.write(_headline_charts(matrix))
+    out.write("\n\nDirectory metadata cost (Section 3.6):\n")
+    out.write(overhead_table(matrix.settings.cores))
+    out.write("\n")
+
+
+def _headline_charts(matrix: ResultMatrix) -> str:
+    """Bar-chart summaries of the normalized headline series."""
+    charts = [
+        hbar_chart(fig9_traffic.summary(matrix),
+                   title="L1 traffic (paper: SW 0.74, SW+MR 0.66, MW 0.63)",
+                   reference=1.0),
+        hbar_chart(fig13_mpki.reduction_summary(matrix),
+                   title="MPKI (paper: SW 0.81, SW+MR/MW 0.64)",
+                   reference=1.0),
+        hbar_chart(fig15_energy.summary(matrix),
+                   title="flit-hops (paper: SW 0.67, SW+MR 0.62, MW 0.51)",
+                   reference=1.0),
+    ]
+    return "\n\n".join(charts)
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            write_report(out=fh)
+        print(f"report written to {sys.argv[1]}")
+    else:
+        write_report()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Shared experiment runner with result memoization.
+
+Figures 9, 10, 13, 14 and 15 all consume the same (workload x protocol)
+run matrix; :class:`ResultMatrix` memoizes each run so a full figure sweep
+simulates every configuration exactly once per process (and the benchmark
+suite shares one matrix across all figure benches).
+
+Scale control: ``REPRO_SCALE`` (accesses per core, default 2000) and
+``REPRO_WORKLOADS`` (comma-separated subset) keep full-suite regeneration
+tractable; raise the scale for closer-to-paper steady-state numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.system.results import RunResult
+from repro.trace.workloads import WORKLOADS, build_streams
+
+ALL_PROTOCOLS: Tuple[ProtocolKind, ...] = (
+    ProtocolKind.MESI,
+    ProtocolKind.PROTOZOA_SW,
+    ProtocolKind.PROTOZOA_SW_MR,
+    ProtocolKind.PROTOZOA_MW,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Scale and machine parameters for one experiment sweep."""
+
+    cores: int = 16
+    per_core: int = 2000
+    seed: int = 0
+    workloads: Tuple[str, ...] = ()
+
+    def workload_names(self) -> List[str]:
+        return list(self.workloads) if self.workloads else sorted(WORKLOADS)
+
+
+def default_settings() -> ExperimentSettings:
+    """Settings honouring the REPRO_SCALE / REPRO_WORKLOADS environment."""
+    per_core = int(os.environ.get("REPRO_SCALE", "2000"))
+    names = os.environ.get("REPRO_WORKLOADS", "")
+    workloads = tuple(n.strip() for n in names.split(",") if n.strip())
+    return ExperimentSettings(per_core=per_core, workloads=workloads)
+
+
+class ResultMatrix:
+    """Memoized (workload, protocol[, block size]) -> RunResult runs."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None):
+        self.settings = settings if settings is not None else default_settings()
+        self._cache: Dict[Tuple, RunResult] = {}
+
+    def run(self, workload: str, protocol: ProtocolKind,
+            block_bytes: Optional[int] = None) -> RunResult:
+        """One simulation, memoized."""
+        key = (workload, protocol, block_bytes)
+        result = self._cache.get(key)
+        if result is not None:
+            return result
+        s = self.settings
+        config = SystemConfig(protocol=protocol, cores=s.cores)
+        if block_bytes is not None:
+            config = config.with_block_bytes(block_bytes)
+        streams = build_streams(workload, cores=s.cores, per_core=s.per_core,
+                                seed=s.seed)
+        result = simulate(streams, config, name=workload)
+        self._cache[key] = result
+        return result
+
+    def sweep(self, protocols: Sequence[ProtocolKind] = ALL_PROTOCOLS,
+              workloads: Optional[Sequence[str]] = None
+              ) -> Dict[Tuple[str, ProtocolKind], RunResult]:
+        """Run (and memoize) the full workload x protocol matrix."""
+        names = list(workloads) if workloads else self.settings.workload_names()
+        out = {}
+        for name in names:
+            for protocol in protocols:
+                out[(name, protocol)] = self.run(name, protocol)
+        return out
+
+
+_SHARED: Optional[ResultMatrix] = None
+
+
+def shared_matrix() -> ResultMatrix:
+    """Process-wide matrix so all figure harnesses reuse the same runs."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ResultMatrix()
+    return _SHARED

@@ -1,0 +1,6 @@
+"""On-chip network model: mesh topology and flit-hop accounting."""
+
+from repro.interconnect.mesh import MeshTopology
+from repro.interconnect.accounting import NetworkAccountant
+
+__all__ = ["MeshTopology", "NetworkAccountant"]

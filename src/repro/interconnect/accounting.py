@@ -1,0 +1,52 @@
+"""Flit and flit-hop accounting (the paper's interconnect-energy metric).
+
+Figure 15 reports "traffic in terms of flits transmitted across all network
+hops" as a relative measure of dynamic interconnect energy.  Every message
+the protocol engines emit is routed here: its byte size is packetized into
+16-byte flits and multiplied by the XY hop count of its route.
+"""
+
+from __future__ import annotations
+
+from repro.common.params import NetworkConfig
+from repro.interconnect.mesh import MeshTopology
+
+
+class NetworkAccountant:
+    """Accumulates flits, flit-hops, and message latency contributions."""
+
+    def __init__(self, topology: MeshTopology):
+        self.topology = topology
+        self.config: NetworkConfig = topology.config
+        self.total_flits = 0
+        self.total_flit_hops = 0
+        self.total_messages = 0
+
+    def flits(self, size_bytes: int) -> int:
+        """Number of flits needed for a message of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0
+        fb = self.config.flit_bytes
+        return (size_bytes + fb - 1) // fb
+
+    def transfer(self, src_node: int, dst_node: int, size_bytes: int) -> int:
+        """Record one message on the network; returns its network latency.
+
+        Latency = per-hop (link + router) pipeline plus serialization of the
+        tail flits.  A self-send (src == dst, e.g. a core whose home tile is
+        its own) costs the router traversal only and no flit-hops.
+        """
+        flits = self.flits(size_bytes)
+        hops = self.topology.hops(src_node, dst_node)
+        self.total_messages += 1
+        self.total_flits += flits
+        self.total_flit_hops += flits * hops
+        per_hop = self.config.link_latency + self.config.router_latency
+        return hops * per_hop + max(flits - 1, 0) + self.config.router_latency
+
+    def snapshot(self) -> dict:
+        return {
+            "messages": self.total_messages,
+            "flits": self.total_flits,
+            "flit_hops": self.total_flit_hops,
+        }

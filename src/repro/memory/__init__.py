@@ -1,0 +1,28 @@
+"""Cache substrates: Amoeba-Cache, fixed-granularity caches, predictors."""
+
+from repro.memory.amoeba_cache import AmoebaCache
+from repro.memory.backing import L2Store
+from repro.memory.block import Block, LineState
+from repro.memory.fixed_cache import FixedCache
+from repro.memory.mshr import MSHRFile
+from repro.memory.predictor import (
+    PCHistoryPredictor,
+    SingleWordPredictor,
+    SpatialPredictor,
+    WholeRegionPredictor,
+    make_predictor,
+)
+
+__all__ = [
+    "AmoebaCache",
+    "Block",
+    "FixedCache",
+    "L2Store",
+    "LineState",
+    "MSHRFile",
+    "PCHistoryPredictor",
+    "SingleWordPredictor",
+    "SpatialPredictor",
+    "WholeRegionPredictor",
+    "make_predictor",
+]

@@ -1,0 +1,104 @@
+"""Shared L2 data store and main-memory model.
+
+The shared L2 is inclusive and tiled; data is kept at REGION granularity
+(fixed-size blocks), which is what lets Protozoa "patch" variable-sized
+writebacks into a single block and serve any requested sub-range (paper
+Section 3.4).  Main memory is a flat value store with a fixed access
+latency; the first touch of a region is a cold miss.
+
+Capacity is bounded (32 MB by default, far larger than any bundled
+workload); when exceeded, the LRU region is recalled — the protocol
+invalidates all L1 copies first to preserve inclusion — then written back
+to memory if dirty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.wordrange import WordRange
+
+RecallHook = Callable[[int], None]
+
+
+class L2Store:
+    """Region-granularity data array of the shared, inclusive L2."""
+
+    def __init__(self, words_per_region: int, capacity_regions: Optional[int] = None):
+        self.words_per_region = words_per_region
+        self.capacity_regions = capacity_regions
+        self._data: "OrderedDict[int, List[int]]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+        self._memory: Dict[int, List[int]] = {}  # main-memory image
+        self.cold_misses = 0
+        self.capacity_recalls = 0
+        self.memory_writebacks = 0
+        self.recall_hook: Optional[RecallHook] = None
+
+    # -- presence ----------------------------------------------------------
+
+    def present(self, region: int) -> bool:
+        return region in self._data
+
+    def ensure_present(self, region: int) -> bool:
+        """Fetch ``region`` from memory if absent.  Returns True on a miss."""
+        if region in self._data:
+            self._data.move_to_end(region)
+            return False
+        self.cold_misses += 1
+        image = self._memory.get(region)
+        self._data[region] = list(image) if image else [0] * self.words_per_region
+        self._dirty[region] = False
+        self._enforce_capacity(keep=region)
+        return True
+
+    def _enforce_capacity(self, keep: int) -> None:
+        if self.capacity_regions is None:
+            return
+        while len(self._data) > self.capacity_regions:
+            victim = next(iter(self._data))
+            if victim == keep:
+                # Rotate: never recall the region under transaction.
+                self._data.move_to_end(victim)
+                victim = next(iter(self._data))
+                if victim == keep:
+                    raise SimulationError("L2 capacity below one region")
+            self.evict(victim)
+
+    def evict(self, region: int) -> None:
+        """Recall a region: invalidate L1 copies, then drop (writing back)."""
+        if region not in self._data:
+            raise SimulationError(f"evicting absent region {region}")
+        if self.recall_hook is not None:
+            self.recall_hook(region)
+        if self._dirty.get(region):
+            self.memory_writebacks += 1
+            self._memory[region] = list(self._data[region])
+        self.capacity_recalls += 1
+        del self._data[region]
+        self._dirty.pop(region, None)
+
+    # -- data --------------------------------------------------------------
+
+    def read(self, region: int, rng: WordRange) -> List[int]:
+        """Values of ``rng`` (region must be present)."""
+        words = self._data[region]
+        self._data.move_to_end(region)
+        return words[rng.start : rng.end + 1]
+
+    def patch(self, region: int, rng: WordRange, values: List[int]) -> None:
+        """Write ``values`` into ``rng`` of the region's fixed block."""
+        if len(values) != rng.width:
+            raise SimulationError("patch size mismatch")
+        words = self._data[region]
+        words[rng.start : rng.end + 1] = values
+        self._dirty[region] = True
+        self._data.move_to_end(region)
+
+    def is_dirty(self, region: int) -> bool:
+        return bool(self._dirty.get(region))
+
+    def __len__(self) -> int:
+        return len(self._data)

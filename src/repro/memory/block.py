@@ -1,0 +1,115 @@
+"""Cache blocks: the Amoeba-Block 4-tuple plus MESI line state.
+
+An Amoeba-Block is ``<Region tag, Start, End, Data>`` (paper Figure 2); a
+fixed-granularity block is the degenerate case whose range covers the whole
+region.  Blocks also carry the bookkeeping the evaluation needs: which words
+were fetched, which were touched (for the Used/Unused-data split of
+Figure 9), which are dirty, and the PC of the miss that allocated the block
+(to train the spatial predictor when the block dies).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.common.wordrange import WordRange
+
+
+class LineState(enum.Enum):
+    """Stable L1 states (paper Table 2)."""
+
+    M = "M"  # dirty; no other L1 holds an overlapping sub-block
+    E = "E"  # clean and exclusive
+    S = "S"  # shared; other L1s may hold overlapping sub-blocks
+    I = "I"  # invalid
+
+    @property
+    def readable(self) -> bool:
+        return self is not LineState.I
+
+    @property
+    def writable(self) -> bool:
+        return self in (LineState.M, LineState.E)
+
+
+class Block:
+    """One variable-granularity cache block resident in an L1."""
+
+    __slots__ = (
+        "region",
+        "range",
+        "state",
+        "data",
+        "dirty_mask",
+        "touched_mask",
+        "fetched_mask",
+        "miss_pc",
+        "miss_word",
+        "last_use",
+    )
+
+    def __init__(
+        self,
+        region: int,
+        rng: WordRange,
+        state: LineState,
+        data: List[int],
+        miss_pc: int = 0,
+        miss_word: int = 0,
+    ):
+        if len(data) != rng.width:
+            raise ValueError(f"data length {len(data)} != range width {rng.width}")
+        self.region = region
+        self.range = rng
+        self.state = state
+        self.data = data
+        self.dirty_mask = 0  # bits are absolute word indices within the region
+        self.touched_mask = 0
+        self.fetched_mask = rng.to_mask()
+        self.miss_pc = miss_pc
+        self.miss_word = miss_word
+        self.last_use = 0
+
+    # -- data access -------------------------------------------------------
+
+    def value(self, word: int) -> int:
+        """Current value of an absolute word index (must be covered)."""
+        return self.data[word - self.range.start]
+
+    def write(self, word: int, value: int) -> None:
+        """Store ``value`` into ``word`` and mark it dirty/touched."""
+        self.data[word - self.range.start] = value
+        bit = 1 << word
+        self.dirty_mask |= bit
+        self.touched_mask |= bit
+
+    def touch(self, rng: WordRange) -> None:
+        """Mark the words of ``rng`` as used by the application."""
+        self.touched_mask |= rng.to_mask() & self.range.to_mask()
+
+    def values_in(self, rng: WordRange) -> List[int]:
+        """Values of the covered intersection with ``rng`` (ascending)."""
+        inter = self.range.intersect(rng)
+        if inter is None:
+            return []
+        lo = inter.start - self.range.start
+        return self.data[lo : lo + inter.width]
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        return self.dirty_mask != 0
+
+    @property
+    def size_words(self) -> int:
+        return self.range.width
+
+    def footprint_bytes(self, tag_bytes: int, word_bytes: int = 8) -> int:
+        """Bytes of set budget consumed (collocated tag + data)."""
+        return tag_bytes + self.range.width * word_bytes
+
+    def __repr__(self) -> str:
+        flag = "d" if self.dirty else "c"
+        return f"Block(R{self.region}{self.range} {self.state.value}/{flag})"

@@ -1,0 +1,51 @@
+"""Miss Status Holding Registers, indexed at REGION granularity.
+
+The paper keeps MSHRs and cache-controller entries at the fixed REGION
+granularity and serializes multiple misses to the same region at the L1
+(Section 3.6).  Under the atomic-transaction engine a region transaction
+always completes before the next one starts, so the MSHR file's run-time
+role is (a) detecting illegal protocol re-entrancy and (b) counting how
+often coherence operations had to gather multiple sub-blocks (the CPU_B /
+COH_B blocking states of Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.common.errors import ProtocolError
+
+
+class MSHRFile:
+    """Per-L1 outstanding-transaction registry keyed by region."""
+
+    def __init__(self, entries: int = 16):
+        self.entries = entries
+        self._busy: Set[int] = set()
+        self.allocations = 0
+        self.cpu_blocking_events = 0  # CPU_B: miss had to gather >1 block
+        self.coh_blocking_events = 0  # COH_B: snoop had to gather >1 block
+
+    def allocate(self, region: int) -> None:
+        if region in self._busy:
+            raise ProtocolError(f"MSHR re-entry for region {region}")
+        if len(self._busy) >= self.entries:
+            raise ProtocolError("MSHR file exhausted under atomic engine")
+        self._busy.add(region)
+        self.allocations += 1
+
+    def release(self, region: int) -> None:
+        if region not in self._busy:
+            raise ProtocolError(f"releasing idle MSHR for region {region}")
+        self._busy.discard(region)
+
+    def is_busy(self, region: int) -> bool:
+        return region in self._busy
+
+    def note_multi_block(self, from_cpu: bool, blocks: int) -> None:
+        """Record a multi-step CHECK/GATHER (Figure 3) of ``blocks`` blocks."""
+        if blocks > 1:
+            if from_cpu:
+                self.cpu_blocking_events += 1
+            else:
+                self.coh_blocking_events += 1

@@ -1,0 +1,6 @@
+"""Statistics: per-run counters and table formatting."""
+
+from repro.stats.counters import RunStats, TrafficBreakdown
+from repro.stats.tables import format_table, normalize
+
+__all__ = ["RunStats", "TrafficBreakdown", "format_table", "normalize"]

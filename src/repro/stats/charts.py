@@ -1,0 +1,75 @@
+"""ASCII bar charts for terminal-rendered figures.
+
+The experiment report uses these to render Figure 9/13/15-style series as
+horizontal bars, so the paper's plots are recognizable straight from a
+terminal (or a CI log) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+BLOCK = "#"
+HALF = "+"
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    """Render ``value`` as a bar where ``scale`` maps to ``width`` chars."""
+    if scale <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    text = BLOCK * min(full, width)
+    if full < width and cells - full >= 0.5:
+        text += HALF
+    return text
+
+
+def hbar_chart(series: Mapping[str, float], title: str = "", width: int = 40,
+               reference: float = 0.0) -> str:
+    """One bar per labelled value, annotated with the number.
+
+    ``reference`` draws a marker column (e.g. at 1.0 for MESI-normalized
+    charts) so above/below-baseline reads at a glance.
+    """
+    if not series:
+        return title
+    label_width = max(len(k) for k in series)
+    scale = max(list(series.values()) + [reference]) or 1.0
+    lines = [title] if title else []
+    for label, value in series.items():
+        rendered = bar(value, scale, width)
+        if reference > 0:
+            mark = int(reference / scale * width)
+            if mark < width:
+                padded = rendered.ljust(width)
+                rendered = padded[:mark] + "|" + padded[mark + 1:]
+                rendered = rendered.rstrip()
+        lines.append(f"{label:>{label_width}}  {rendered} {value:.3f}")
+    return "\n".join(lines)
+
+
+def stacked_chart(rows: Sequence[Tuple[str, Mapping[str, float]]],
+                  segments: Sequence[Tuple[str, str]], width: int = 40,
+                  title: str = "") -> str:
+    """Stacked horizontal bars (Figure 9 style).
+
+    ``rows`` is [(label, {segment: value})]; ``segments`` is an ordered
+    list of (segment key, single-char glyph).  All rows share one scale.
+    """
+    if not rows:
+        return title
+    label_width = max(len(label) for label, _ in rows)
+    scale = max(sum(values.get(k, 0.0) for k, _ in segments)
+                for _, values in rows) or 1.0
+    lines = [title] if title else []
+    legend = "  ".join(f"{glyph}={key}" for key, glyph in segments)
+    lines.append(" " * label_width + "  [" + legend + "]")
+    for label, values in rows:
+        text = ""
+        for key, glyph in segments:
+            cells = int(round(values.get(key, 0.0) / scale * width))
+            text += glyph * cells
+        total = sum(values.get(k, 0.0) for k, _ in segments)
+        lines.append(f"{label:>{label_width}}  {text} {total:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Run statistics: everything the paper's tables and figures report.
+
+One :class:`RunStats` instance accumulates over a simulation:
+
+* traffic at the L1 boundary in bytes, split Used-data / Unused-data /
+  Control (Figure 9), with control sub-bucketed REQ/FWD/INV/ACK/NACK
+  (Figure 10);
+* misses and instructions for MPKI (Table 1, Figure 13);
+* invalidation message counts (Table 1);
+* installed-block size histogram (Figure 12);
+* flit-hops come from the :class:`~repro.interconnect.accounting.NetworkAccountant`
+  (Figure 15) and per-core cycles from the simulator (Figure 14).
+
+Used vs unused data: a word delivered to an L1 counts as *used* if the
+application touches it before the carrying block dies (eviction or
+invalidation), else *unused*; writeback payload words count as used when
+they were touched.  Classification of fills is therefore deferred to block
+death; the simulator flushes all caches at the end of a run so every fetched
+word is classified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.addresses import WORD_BYTES
+from repro.coherence.messages import MsgCategory
+from repro.stats.latency import LatencyHistogram
+
+
+@dataclass
+class TrafficBreakdown:
+    """Byte totals at the L1 boundary (the paper's Figure 9 split)."""
+
+    used_data: int = 0
+    unused_data: int = 0
+    control: Dict[str, int] = field(
+        default_factory=lambda: {c.value: 0 for c in MsgCategory}
+    )
+
+    @property
+    def control_total(self) -> int:
+        return sum(self.control.values())
+
+    @property
+    def total(self) -> int:
+        return self.used_data + self.unused_data + self.control_total
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1
+        return {
+            "used": self.used_data / total,
+            "unused": self.unused_data / total,
+            "control": self.control_total / total,
+        }
+
+
+class RunStats:
+    """All counters accumulated over one protocol run."""
+
+    def __init__(self, cores: int):
+        self.cores = cores
+        self.traffic = TrafficBreakdown()
+        # Demand behaviour.
+        self.instructions = 0
+        self.reads = 0
+        self.writes = 0
+        self.read_hits = 0
+        self.write_hits = 0
+        self.read_misses = 0
+        self.write_misses = 0
+        self.upgrade_misses = 0
+        # Coherence events.
+        self.invalidations_sent = 0  # INV messages (Table 1's INV metric)
+        self.nacks = 0
+        self.ack_s = 0
+        self.writebacks = 0
+        self.writebacks_last = 0
+        self.evictions = 0
+        self.inval_block_kills = 0  # L1 blocks killed by remote requests
+        # Granularity behaviour.
+        self.block_size_hist: Dict[int, int] = {}
+        self.fills = 0
+        self.fill_words = 0
+        # Timing.
+        self.core_cycles: List[int] = [0] * cores
+        self.miss_latency_total = 0
+        self.miss_latency = LatencyHistogram()
+
+    # -- traffic recording ---------------------------------------------------
+
+    def control_bytes(self, category: MsgCategory, nbytes: int) -> None:
+        self.traffic.control[category.value] += nbytes
+
+    def data_words(self, used_words: int, unused_words: int) -> None:
+        self.traffic.used_data += used_words * WORD_BYTES
+        self.traffic.unused_data += unused_words * WORD_BYTES
+
+    def record_install(self, width_words: int) -> None:
+        self.block_size_hist[width_words] = self.block_size_hist.get(width_words, 0) + 1
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses + self.upgrade_misses
+
+    def mpki(self) -> float:
+        """Misses per kilo-instruction."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.misses / self.instructions
+
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def execution_cycles(self) -> int:
+        """Completion time: the slowest core's cycle count."""
+        return max(self.core_cycles) if self.core_cycles else 0
+
+    def used_fraction(self) -> float:
+        """USED%: fraction of transferred data bytes the application used."""
+        data = self.traffic.used_data + self.traffic.unused_data
+        if data == 0:
+            return 0.0
+        return self.traffic.used_data / data
+
+    def block_size_buckets(self) -> Dict[str, float]:
+        """Figure 12 buckets: fraction of installs sized 1-2/3-4/5-6/7-8 words."""
+        total = sum(self.block_size_hist.values()) or 1
+        buckets = {"1-2": 0, "3-4": 0, "5-6": 0, "7-8": 0}
+        for width, count in self.block_size_hist.items():
+            if width <= 2:
+                buckets["1-2"] += count
+            elif width <= 4:
+                buckets["3-4"] += count
+            elif width <= 6:
+                buckets["5-6"] += count
+            else:
+                buckets["7-8"] += count
+        return {k: v / total for k, v in buckets.items()}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "mpki": self.mpki(),
+            "invalidations": self.invalidations_sent,
+            "traffic_bytes": self.traffic.total,
+            "used_frac": self.used_fraction(),
+            "exec_cycles": self.execution_cycles(),
+        }

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment harnesses print rows shaped like the paper's tables and
+figure series; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def normalize(values: Mapping[str, Number], baseline_key: str) -> Dict[str, float]:
+    """Each value divided by the baseline entry (0 baseline -> zeros)."""
+    base = float(values[baseline_key])
+    if base == 0:
+        return {k: 0.0 for k in values}
+    return {k: float(v) / base for k, v in values.items()}
+
+
+def format_cell(value, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], min_width: int = 8) -> str:
+    """Render an aligned text table with a header underline."""
+    rows = [list(r) for r in rows]
+    widths: List[int] = []
+    for col, header in enumerate(headers):
+        cells = [format_cell(r[col], 0).strip() for r in rows if col < len(r)]
+        widest = max([len(header)] + [len(c) for c in cells]) if cells else len(header)
+        widths.append(max(widest, min_width))
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(format_cell(v, w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's preferred average for ratios)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

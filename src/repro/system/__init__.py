@@ -1,0 +1,7 @@
+"""Machine assembly and the trace-driven simulation loop."""
+
+from repro.system.machine import build_protocol, simulate
+from repro.system.results import RunResult
+from repro.system.simulator import Simulator
+
+__all__ = ["Simulator", "RunResult", "build_protocol", "simulate"]

@@ -1,0 +1,35 @@
+"""Machine assembly: config -> protocol instance -> simulated run."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.protocol_base import CoherenceProtocol
+from repro.coherence.protozoa_multi import ProtozoaMWProtocol, ProtozoaSWMRProtocol
+from repro.coherence.protozoa_sw import ProtozoaSWProtocol
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.results import RunResult
+from repro.system.simulator import Simulator
+from repro.trace.events import MemAccess
+
+_PROTOCOLS = {
+    ProtocolKind.MESI: MESIProtocol,
+    ProtocolKind.PROTOZOA_SW: ProtozoaSWProtocol,
+    ProtocolKind.PROTOZOA_SW_MR: ProtozoaSWMRProtocol,
+    ProtocolKind.PROTOZOA_MW: ProtozoaMWProtocol,
+}
+
+
+def build_protocol(config: SystemConfig) -> CoherenceProtocol:
+    """Instantiate the protocol engine selected by ``config.protocol``."""
+    return _PROTOCOLS[config.protocol](config)
+
+
+def simulate(streams: List[Iterable[MemAccess]], config: SystemConfig,
+             name: str = "", max_accesses: Optional[int] = None) -> RunResult:
+    """Build a machine, run the streams through it, and package the result."""
+    protocol = build_protocol(config)
+    simulator = Simulator(protocol, streams)
+    stats = simulator.run(max_accesses=max_accesses)
+    return RunResult(name=name, config=config, stats=stats, protocol=protocol)

@@ -1,0 +1,69 @@
+"""Result packaging: everything a figure harness needs from one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.coherence.protocol_base import CoherenceProtocol
+from repro.common.params import SystemConfig
+from repro.stats.counters import RunStats
+
+
+@dataclass
+class RunResult:
+    """One (workload, protocol) simulation outcome."""
+
+    name: str
+    config: SystemConfig
+    stats: RunStats
+    protocol: CoherenceProtocol
+
+    @property
+    def protocol_name(self) -> str:
+        return self.config.protocol.short_name
+
+    # -- figure-facing accessors -------------------------------------------
+
+    def traffic_bytes(self) -> int:
+        """Total bytes sent/received at the L1s (Figure 9 denominator)."""
+        return self.stats.traffic.total
+
+    def traffic_split(self) -> Dict[str, int]:
+        """Figure 9: used data / unused data / control bytes."""
+        t = self.stats.traffic
+        return {
+            "used": t.used_data,
+            "unused": t.unused_data,
+            "control": t.control_total,
+        }
+
+    def control_split(self) -> Dict[str, int]:
+        """Figure 10: control bytes by REQ/FWD/INV/ACK/NACK (+ data headers)."""
+        return dict(self.stats.traffic.control)
+
+    def mpki(self) -> float:
+        return self.stats.mpki()
+
+    def invalidations(self) -> int:
+        return self.stats.invalidations_sent
+
+    def used_fraction(self) -> float:
+        return self.stats.used_fraction()
+
+    def exec_cycles(self) -> int:
+        return self.stats.execution_cycles()
+
+    def flit_hops(self) -> int:
+        return self.protocol.net.total_flit_hops
+
+    def block_size_buckets(self) -> Dict[str, float]:
+        return self.stats.block_size_buckets()
+
+    def dir_owned_buckets(self) -> Dict[str, int]:
+        return self.protocol.directory.owned_access_buckets()
+
+    def summary(self) -> Dict[str, float]:
+        out = self.stats.summary()
+        out["flit_hops"] = self.flit_hops()
+        return out

@@ -1,0 +1,30 @@
+"""Synthetic workload traces standing in for the paper's 28 benchmarks."""
+
+from repro.trace.events import MemAccess
+from repro.trace.patterns import (
+    false_sharing_counter,
+    migratory_regions,
+    private_random,
+    private_stream,
+    producer_stream,
+    consumer_stream,
+    shared_read_table,
+    stencil_stream,
+)
+from repro.trace.workloads import WORKLOADS, WorkloadSpec, build_streams, get_workload
+
+__all__ = [
+    "MemAccess",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "build_streams",
+    "consumer_stream",
+    "false_sharing_counter",
+    "get_workload",
+    "migratory_regions",
+    "private_random",
+    "private_stream",
+    "producer_stream",
+    "shared_read_table",
+    "stencil_stream",
+]

@@ -1,0 +1,37 @@
+"""Trace events consumed by the simulator.
+
+A trace is one stream of :class:`MemAccess` records per core.  ``think``
+is the number of non-memory instructions executed before the access (one
+cycle each on the in-order cores); the access itself counts as one more
+instruction, so MPKI denominators include both.
+"""
+
+from __future__ import annotations
+
+
+class MemAccess:
+    """One memory reference in a per-core trace stream."""
+
+    __slots__ = ("is_write", "addr", "size", "pc", "think")
+
+    def __init__(self, is_write: bool, addr: int, size: int = 8, pc: int = 0,
+                 think: int = 0):
+        if addr < 0 or size <= 0 or think < 0:
+            raise ValueError("invalid access record")
+        self.is_write = is_write
+        self.addr = addr
+        self.size = size
+        self.pc = pc
+        self.think = think
+
+    @staticmethod
+    def read(addr: int, size: int = 8, pc: int = 0, think: int = 0) -> "MemAccess":
+        return MemAccess(False, addr, size, pc, think)
+
+    @staticmethod
+    def write(addr: int, size: int = 8, pc: int = 0, think: int = 0) -> "MemAccess":
+        return MemAccess(True, addr, size, pc, think)
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return f"MemAccess({kind} 0x{self.addr:x} sz={self.size} pc={self.pc})"

@@ -1,0 +1,63 @@
+"""Trace file I/O: persist per-core access streams and replay them.
+
+Format (text, one record per line, ``#``-prefixed header/comments)::
+
+    #repro-trace v1 cores=4
+    <core> <R|W> <addr-hex> <size> <pc-hex> <think>
+
+The format is intentionally simple so traces from external tools (e.g. a
+Pin run, which is what the paper used) can be converted with a one-line
+awk script and replayed through the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO
+
+from repro.common.errors import SimulationError
+from repro.trace.events import MemAccess
+
+MAGIC = "#repro-trace v1"
+
+
+def write_trace(streams: List[Iterable[MemAccess]], fh: TextIO) -> int:
+    """Write per-core streams; returns the number of records written."""
+    fh.write(f"{MAGIC} cores={len(streams)}\n")
+    count = 0
+    for core, stream in enumerate(streams):
+        for event in stream:
+            kind = "W" if event.is_write else "R"
+            fh.write(f"{core} {kind} {event.addr:x} {event.size} "
+                     f"{event.pc:x} {event.think}\n")
+            count += 1
+    return count
+
+
+def read_trace(fh: TextIO) -> List[List[MemAccess]]:
+    """Read a trace file back into per-core event lists."""
+    header = fh.readline().rstrip("\n")
+    if not header.startswith(MAGIC):
+        raise SimulationError(f"not a repro trace file: {header[:40]!r}")
+    try:
+        cores = int(header.split("cores=")[1])
+    except (IndexError, ValueError):
+        raise SimulationError(f"malformed trace header: {header!r}")
+    streams: List[List[MemAccess]] = [[] for _ in range(cores)]
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise SimulationError(f"trace line {lineno}: expected 6 fields")
+        try:
+            core = int(parts[0])
+            is_write = {"R": False, "W": True}[parts[1]]
+            event = MemAccess(is_write, int(parts[2], 16), int(parts[3]),
+                              int(parts[4], 16), int(parts[5]))
+        except (KeyError, ValueError) as exc:
+            raise SimulationError(f"trace line {lineno}: {exc}")
+        if not 0 <= core < cores:
+            raise SimulationError(f"trace line {lineno}: core {core} out of range")
+        streams[core].append(event)
+    return streams

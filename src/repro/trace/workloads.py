@@ -1,0 +1,369 @@
+"""The 28-benchmark registry (paper Table 5), as synthetic profiles.
+
+Each paper benchmark maps to a weighted mix of the pattern primitives in
+:mod:`repro.trace.patterns`, tuned to its qualitative profile from the
+paper's Table 1 (optimal block size, USED%, false-sharing behaviour) and
+the evaluation-section discussion.  ``paper_optimal`` / ``paper_used_pct``
+carry the published values so the Table 1 harness can print them alongside
+measurements.
+
+Absolute miss rates are not calibrated (the substrate is synthetic); the
+protocol *orderings* — which benchmarks false-share, which are bandwidth
+bound, which have low data utilization — are.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List
+
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_seed
+from repro.trace.events import MemAccess
+from repro.trace.patterns import (
+    consumer_stream,
+    false_sharing_counter,
+    interleave,
+    migratory_regions,
+    packed_slots,
+    private_random,
+    private_stream,
+    producer_stream,
+    shared_read_table,
+    stencil_stream,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+# Address-space layout: shared structures low, per-core slabs high.
+SHARED = 0x0200_0000
+COUNTERS = 0x0100_0000
+BUFFERS = 0x0400_0000
+
+
+def _private(core: int) -> int:
+    return 0x1000_0000 + core * 0x0100_0000
+
+Builder = Callable[[int, int, random.Random, int], List]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named benchmark profile."""
+
+    name: str
+    suite: str
+    build: Builder  # (core, cores, rng, pc_base) -> [(weight, generator), ...]
+    paper_optimal: str  # Table 1 "Optimal" block size column
+    paper_used_pct: int  # Table 1 USED% column
+    falsely_shares: bool = False  # paper calls out false sharing
+
+    def stream(self, core: int, cores: int, seed: int) -> Iterator[MemAccess]:
+        rng = random.Random(derive_seed(self.name, core, seed))
+        pc_base = (derive_seed(self.name) & 0xFFFF) << 8
+        parts = self.build(core, cores, rng, pc_base)
+        if len(parts) == 1:
+            return parts[0][1]
+        return interleave(rng, parts)
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {}
+
+
+def _register(name: str, suite: str, optimal: str, used: int,
+              falsely_shares: bool = False):
+    def wrap(fn: Builder):
+        if name in WORKLOADS:
+            raise ConfigError(f"duplicate workload {name}")
+        WORKLOADS[name] = WorkloadSpec(name, suite, fn, optimal, used, falsely_shares)
+        return fn
+
+    return wrap
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(f"unknown workload {name!r}; see repro.trace.WORKLOADS")
+
+
+def build_streams(name: str, cores: int = 16, per_core: int = 2000,
+                  seed: int = 0) -> List[List[MemAccess]]:
+    """Materialized per-core access streams for one benchmark."""
+    spec = get_workload(name)
+    return [
+        list(itertools.islice(spec.stream(core, cores, seed), per_core))
+        for core in range(cores)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# SPLASH2
+# ---------------------------------------------------------------------------
+
+@_register("barnes", "SPLASH2", "32", 37)
+def _barnes(core, cores, rng, pc):
+    return [
+        (5, shared_read_table(SHARED, 192 * KB, pc, span_words=2, sparsity=3, rng=rng)),
+        (2, migratory_regions(SHARED + MB, 48, core, pc + 8, rng=rng, words_per_visit=3)),
+        (2, private_random(_private(core), 96 * KB, pc + 16, write_frac=0.3, sparsity=8, rng=rng)),
+    ]
+
+
+@_register("cholesky", "SPLASH2", "*", 62)
+def _cholesky(core, cores, rng, pc):
+    return [
+        (5, private_stream(_private(core), 192 * KB, pc, write_frac=0.3, rng=rng)),
+        (3, shared_read_table(SHARED, 64 * KB, pc + 8, span_words=4, rng=rng)),
+        (2, migratory_regions(SHARED + MB, 32, core, pc + 16, rng=rng, words_per_visit=2)),
+    ]
+
+
+@_register("fft", "SPLASH2", "128", 67)
+def _fft(core, cores, rng, pc):
+    return [
+        (8, private_stream(_private(core), 256 * KB, pc, write_frac=0.4, rng=rng)),
+        (2, shared_read_table(SHARED, 128 * KB, pc + 8, span_words=8, rng=rng)),
+    ]
+
+
+@_register("lu", "SPLASH2", "128", 47)
+def _lu(core, cores, rng, pc):
+    return [
+        (6, private_stream(_private(core), 192 * KB, pc, write_frac=0.3, rng=rng)),
+        (3, shared_read_table(SHARED, 96 * KB, pc + 8, span_words=4, rng=rng)),
+        (1, private_random(_private(core) + MB, 64 * KB, pc + 16, write_frac=0.2, rng=rng)),
+    ]
+
+
+@_register("ocean", "SPLASH2", "128", 53)
+def _ocean(core, cores, rng, pc):
+    return [
+        (8, stencil_stream(core, cores, BUFFERS, 160 * KB, pc, write_frac=0.4,
+                           boundary_every=24, rng=rng)),
+        (2, private_stream(_private(core), 64 * KB, pc + 8, write_frac=0.2, rng=rng)),
+    ]
+
+
+@_register("radix", "SPLASH2", "*", 56)
+def _radix(core, cores, rng, pc):
+    return [
+        (5, private_stream(_private(core), 256 * KB, pc, write_frac=0.2, rng=rng)),
+        (4, packed_slots(SHARED, core, 24 * KB + 8, pc + 8, write_frac=0.7, rng=rng)),
+        (1, false_sharing_counter(COUNTERS, core, pc + 16)),
+    ]
+
+
+@_register("water", "SPLASH2", "128", 46)
+def _water(core, cores, rng, pc):
+    return [
+        (7, stencil_stream(core, cores, BUFFERS, 96 * KB, pc, write_frac=0.35,
+                           boundary_every=32, rng=rng)),
+        (3, shared_read_table(SHARED, 64 * KB, pc + 8, span_words=4, rng=rng)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# PARSEC
+# ---------------------------------------------------------------------------
+
+@_register("blackscholes", "PARSEC", "16", 26, falsely_shares=True)
+def _blackscholes(core, cores, rng, pc):
+    return [
+        (8, private_random(_private(core), 96 * KB, pc, write_frac=0.15, sparsity=8, rng=rng)),
+        (2, false_sharing_counter(SHARED, core, pc + 8)),
+    ]
+
+
+@_register("bodytrack", "PARSEC", "16", 21)
+def _bodytrack(core, cores, rng, pc):
+    return [
+        (9, private_random(_private(core), 104 * KB, pc, write_frac=0.2, sparsity=7, rng=rng)),
+        (1, shared_read_table(SHARED, 256 * KB, pc + 8, span_words=1, rng=rng)),
+    ]
+
+
+@_register("canneal", "PARSEC", "32", 16)
+def _canneal(core, cores, rng, pc):
+    return [
+        (7, private_random(SHARED, 4 * MB, pc, write_frac=0.1, sparsity=6, rng=rng)),
+        (3, private_random(_private(core), 512 * KB, pc + 8, write_frac=0.2, sparsity=4, rng=rng)),
+    ]
+
+
+@_register("facesim", "PARSEC", "32", 80)
+def _facesim(core, cores, rng, pc):
+    return [
+        (6, private_stream(_private(core), 128 * KB, pc, write_frac=0.3, rng=rng)),
+        (2, stencil_stream(core, cores, BUFFERS, 64 * KB, pc + 8, write_frac=0.3,
+                           boundary_every=12, rng=rng)),
+        (2, shared_read_table(SHARED, 48 * KB, pc + 16, span_words=4, rng=rng)),
+    ]
+
+
+@_register("fluidanimate", "PARSEC", "128", 54)
+def _fluidanimate(core, cores, rng, pc):
+    return [
+        (7, stencil_stream(core, cores, BUFFERS, 128 * KB, pc, write_frac=0.4,
+                           boundary_every=10, rng=rng)),
+        (3, shared_read_table(SHARED, 96 * KB, pc + 8, span_words=8, rng=rng)),
+    ]
+
+
+@_register("x264", "PARSEC", "64", 24)
+def _x264(core, cores, rng, pc):
+    producer = producer_stream(BUFFERS + (core % cores) * MB, 1024, pc + 8)
+    consumer = consumer_stream(BUFFERS + ((core - 1) % cores) * MB, 1024, pc + 16,
+                               lag=512)
+    return [
+        (5, private_random(_private(core), 768 * KB, pc, write_frac=0.2, sparsity=4, rng=rng)),
+        (3, consumer if core % 2 else producer),
+        (2, shared_read_table(SHARED, 128 * KB, pc + 24, span_words=2, rng=rng)),
+    ]
+
+
+@_register("raytrace", "PARSEC", "*", 63)
+def _raytrace(core, cores, rng, pc):
+    producer = producer_stream(BUFFERS + core * MB, 512, pc + 16)
+    consumer = consumer_stream(BUFFERS + ((core - 1) % cores) * MB, 512, pc + 24,
+                               lag=256)
+    return [
+        (5, shared_read_table(SHARED, 384 * KB, pc, span_words=4, sparsity=2, rng=rng)),
+        (3, consumer if core % 2 else producer),
+        (2, private_stream(_private(core), 96 * KB, pc + 8, write_frac=0.2, rng=rng)),
+    ]
+
+
+@_register("swaptions", "PARSEC", "64", 64)
+def _swaptions(core, cores, rng, pc):
+    return [
+        (7, private_stream(_private(core), 48 * KB, pc, write_frac=0.15, rng=rng)),
+        (3, private_random(_private(core) + MB, 32 * KB, pc + 8, write_frac=0.1, rng=rng)),
+    ]
+
+
+@_register("streamcluster", "PARSEC", "*", 76, falsely_shares=True)
+def _streamcluster(core, cores, rng, pc):
+    return [
+        (5, shared_read_table(SHARED, 128 * KB, pc, span_words=8, rng=rng)),
+        (3, private_stream(_private(core), 96 * KB, pc + 8, write_frac=0.2, rng=rng)),
+        (2, false_sharing_counter(COUNTERS, core, pc + 16)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Phoenix
+# ---------------------------------------------------------------------------
+
+@_register("histogram", "Phoenix", "32", 53, falsely_shares=True)
+def _histogram(core, cores, rng, pc):
+    return [
+        (6, private_stream(_private(core), 192 * KB, pc, write_frac=0.0, rng=rng)),
+        (4, packed_slots(COUNTERS, core, 136, pc + 8, write_frac=0.6, rng=rng)),
+    ]
+
+
+@_register("kmeans", "Phoenix", "*", 99)
+def _kmeans(core, cores, rng, pc):
+    return [
+        (6, shared_read_table(SHARED, 64 * KB, pc, span_words=8, rng=rng)),
+        (3, private_stream(_private(core), 128 * KB, pc + 8, write_frac=0.1, rng=rng)),
+        (1, packed_slots(COUNTERS, core, 72, pc + 16, write_frac=0.6, rng=rng)),
+    ]
+
+
+@_register("linear-regression", "Phoenix", "16", 27, falsely_shares=True)
+def _linear_regression(core, cores, rng, pc):
+    return [
+        (19, false_sharing_counter(COUNTERS, core, pc)),
+        (1, private_stream(_private(core), 16 * KB, pc + 8, write_frac=0.0, rng=rng)),
+    ]
+
+
+@_register("matrix-multiply", "Phoenix", "64", 99)
+def _matrix_multiply(core, cores, rng, pc):
+    return [
+        (8, private_stream(_private(core), 256 * KB, pc, write_frac=0.1, rng=rng)),
+        (2, shared_read_table(SHARED, 192 * KB, pc + 8, span_words=8, rng=rng)),
+    ]
+
+
+@_register("reverse-index", "Phoenix", "128", 64)
+def _reverse_index(core, cores, rng, pc):
+    return [
+        (5, private_stream(_private(core), 192 * KB, pc, write_frac=0.2, rng=rng)),
+        (3, private_random(SHARED, 256 * KB, pc + 8, write_frac=0.5, rng=rng)),
+        (2, shared_read_table(SHARED + MB, 64 * KB, pc + 16, span_words=2, rng=rng)),
+    ]
+
+
+@_register("string-match", "Phoenix", "*", 50, falsely_shares=True)
+def _string_match(core, cores, rng, pc):
+    return [
+        (4, false_sharing_counter(COUNTERS, core, pc)),
+        (3, packed_slots(SHARED, core, 24, pc + 8, write_frac=0.6, rng=rng)),
+        (3, private_stream(_private(core), 128 * KB, pc + 16, write_frac=0.0, rng=rng)),
+    ]
+
+
+@_register("word-count", "Phoenix", "128", 99)
+def _word_count(core, cores, rng, pc):
+    return [
+        (8, private_stream(_private(core), 384 * KB, pc, write_frac=0.25, rng=rng)),
+        (2, private_stream(_private(core) + MB, 64 * KB, pc + 8, write_frac=0.5, rng=rng)),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Commercial / DaCapo / Denovo
+# ---------------------------------------------------------------------------
+
+@_register("apache", "Commercial", "128", 37)
+def _apache(core, cores, rng, pc):
+    return [
+        (4, private_random(SHARED, 2 * MB, pc, write_frac=0.25, sparsity=3, rng=rng)),
+        (3, shared_read_table(SHARED + 4 * MB, 512 * KB, pc + 8, span_words=2, rng=rng)),
+        (2, migratory_regions(COUNTERS, 128, core, pc + 16, rng=rng, words_per_visit=2)),
+        (1, private_stream(_private(core), 96 * KB, pc + 24, write_frac=0.3, rng=rng)),
+    ]
+
+
+@_register("spec-jbb", "Commercial", "128", 26)
+def _jbb(core, cores, rng, pc):
+    return [
+        (5, private_random(_private(core), 112 * KB, pc, write_frac=0.3, sparsity=8, rng=rng)),
+        (3, shared_read_table(SHARED, 768 * KB, pc + 8, span_words=2, rng=rng)),
+        (2, migratory_regions(COUNTERS, 96, core, pc + 16, rng=rng, words_per_visit=3)),
+    ]
+
+
+@_register("h2", "DaCapo", "*", 59, falsely_shares=True)
+def _h2(core, cores, rng, pc):
+    return [
+        (4, false_sharing_counter(COUNTERS, core, pc)),
+        (3, migratory_regions(SHARED, 64, core, pc + 8, rng=rng, words_per_visit=4)),
+        (3, private_stream(_private(core), 128 * KB, pc + 16, write_frac=0.3, rng=rng)),
+    ]
+
+
+@_register("tradebeans", "DaCapo", "64", 32)
+def _tradebeans(core, cores, rng, pc):
+    return [
+        (5, private_random(_private(core), 104 * KB, pc, write_frac=0.25, sparsity=8, rng=rng)),
+        (3, shared_read_table(SHARED, 512 * KB, pc + 8, span_words=2, rng=rng)),
+        (2, private_stream(_private(core) + 2 * MB, 64 * KB, pc + 16, write_frac=0.2,
+                           rng=rng)),
+    ]
+
+
+@_register("parkd", "Denovo", "128", 68)
+def _parkd(core, cores, rng, pc):
+    return [
+        (6, private_stream(_private(core), 192 * KB, pc, write_frac=0.25, rng=rng)),
+        (3, shared_read_table(SHARED, 256 * KB, pc + 8, span_words=4, rng=rng)),
+        (1, private_random(SHARED + MB, 128 * KB, pc + 16, write_frac=0.1, rng=rng)),
+    ]

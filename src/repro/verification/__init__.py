@@ -1,0 +1,5 @@
+"""Protocol verification: the paper's random tester as a library feature."""
+
+from repro.verification.random_tester import RandomTester, TesterReport
+
+__all__ = ["RandomTester", "TesterReport"]

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+    def test_protocol_aliases(self):
+        from repro.cli import _protocol
+        from repro.common.params import ProtocolKind
+        assert _protocol("MESI") is ProtocolKind.MESI
+        assert _protocol("sw+mr") is ProtocolKind.PROTOZOA_SW_MR
+        assert _protocol("swmr") is ProtocolKind.PROTOZOA_SW_MR
+        with pytest.raises(Exception):
+            _protocol("moesi")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "linear-regression" in out
+        assert out.count("\n") >= 29  # header + 28 workloads
+
+    def test_run(self, capsys):
+        rc = main(["run", "--workload", "linear-regression", "--protocol", "mw",
+                   "--scale", "200", "--cores", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MPKI" in out and "flit-hops" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workload", "histogram", "--scale", "150",
+                   "--cores", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("MESI", "SW", "SW+MR", "MW"):
+            assert name in out
+
+    def test_verify(self, capsys):
+        rc = main(["verify", "--protocol", "sw", "--accesses", "400",
+                   "--cores", "2"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace"
+        rc = main(["trace", "--workload", "kmeans", "--out", str(trace),
+                   "--scale", "100", "--cores", "4"])
+        assert rc == 0
+        assert trace.exists()
+        rc = main(["replay", "--trace", str(trace), "--protocol", "mesi",
+                   "--cores", "4"])
+        assert rc == 0
+        assert "MESI" in capsys.readouterr().out
+
+    def test_run_with_options(self, capsys):
+        rc = main(["run", "--workload", "kmeans", "--protocol", "sw",
+                   "--scale", "150", "--cores", "4", "--three-hop",
+                   "--substrate", "sector", "--predictor", "single-word"])
+        assert rc == 0
+
+    def test_inspect_all(self, capsys):
+        rc = main(["inspect", "--scale", "120", "--cores", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "false-shr" in out
+        assert "linear-regression" in out
+
+    def test_inspect_single(self, capsys):
+        rc = main(["inspect", "--workload", "canneal", "--scale", "150",
+                   "--cores", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out and "apache" not in out
+
+    def test_report_to_file(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "report.txt"
+        monkeypatch.setenv("REPRO_WORKLOADS", "")
+        rc = main(["report", "--out", str(out), "--scale", "60", "--cores", "4"])
+        assert rc == 0
+        text = out.read_text()
+        assert "Table 1" in text and "Figure 15" in text

@@ -1,0 +1,94 @@
+"""Tests for the region-granularity directory and Figure 11 histogram."""
+
+from repro.coherence.directory import Directory, DirectoryEntry
+
+
+class TestEntry:
+    def test_fresh_entry_unused(self):
+        e = DirectoryEntry()
+        assert e.unused
+        assert not e.owned
+        assert e.sharers() == set()
+
+    def test_sole_owner(self):
+        e = DirectoryEntry()
+        e.writers.add(3)
+        assert e.sole_owner() == 3
+        e.writers.add(5)
+        assert e.sole_owner() is None
+
+    def test_drop_removes_both_roles(self):
+        e = DirectoryEntry()
+        e.readers.add(1)
+        e.writers.add(1)
+        e.drop(1)
+        assert e.unused
+
+    def test_sharers_union(self):
+        e = DirectoryEntry()
+        e.readers.update({1, 2})
+        e.writers.add(3)
+        assert e.sharers() == {1, 2, 3}
+
+
+class TestDirectory:
+    def test_entry_created_on_demand(self):
+        d = Directory()
+        assert d.peek(7) is None
+        e = d.entry(7)
+        assert d.peek(7) is e
+        assert len(d) == 1
+
+    def test_forget(self):
+        d = Directory()
+        d.entry(7)
+        d.forget(7)
+        assert d.peek(7) is None
+        d.forget(7)  # idempotent
+
+    def test_iteration(self):
+        d = Directory()
+        d.entry(1)
+        d.entry(2)
+        assert sorted(r for r, _ in d) == [1, 2]
+
+
+class TestOwnedHistogram:
+    def test_unowned_lookup_not_counted(self):
+        d = Directory()
+        d.entry(0).readers.add(1)
+        d.lookup(0)
+        assert sum(d.owned_access_buckets().values()) == 0
+
+    def test_one_owner_only(self):
+        d = Directory()
+        d.entry(0).writers.add(1)
+        d.lookup(0)
+        assert d.owned_access_buckets() == {
+            "1owner": 1, "1owner+sharers": 0, ">1owner": 0,
+        }
+
+    def test_one_owner_with_sharers(self):
+        d = Directory()
+        e = d.entry(0)
+        e.writers.add(1)
+        e.readers.add(2)
+        d.lookup(0)
+        assert d.owned_access_buckets()["1owner+sharers"] == 1
+
+    def test_multi_owner(self):
+        d = Directory()
+        e = d.entry(0)
+        e.writers.update({1, 2})
+        d.lookup(0)
+        d.lookup(0)
+        assert d.owned_access_buckets()[">1owner"] == 2
+
+    def test_owner_also_reader_counts_as_owner_only(self):
+        # A core tracked in both vectors is one sharer, not "owner+sharers".
+        d = Directory()
+        e = d.entry(0)
+        e.writers.add(1)
+        e.readers.add(1)
+        d.lookup(0)
+        assert d.owned_access_buckets()["1owner"] == 1

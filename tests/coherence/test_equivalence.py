@@ -1,0 +1,87 @@
+"""Correctness invariant (i) from Section 3.6: with fixed whole-region
+predictions, Protozoa's transitions match MESI's.
+
+Running Protozoa-SW with the whole-region predictor against MESI on the
+same trace must produce identical miss counts, invalidations, writebacks,
+and byte-for-byte identical traffic (as long as capacity evictions don't
+engage, since the two L1 organisations differ there)."""
+
+import random
+
+import pytest
+
+from repro.common.params import PredictorKind, ProtocolKind
+
+from tests.conftest import make_engine
+
+
+def drive(p, seed=7, accesses=2000, regions=12):
+    rng = random.Random(seed)
+    for _ in range(accesses):
+        core = rng.randrange(p.config.cores)
+        addr = rng.randrange(regions) * 64 + rng.randrange(8) * 8
+        if rng.random() < 0.4:
+            p.write(core, addr, 8, pc=rng.randrange(8))
+        else:
+            p.read(core, addr, 8, pc=rng.randrange(8))
+    return p
+
+
+@pytest.fixture(scope="module")
+def pair():
+    mesi = drive(make_engine(ProtocolKind.MESI))
+    sw = drive(make_engine(ProtocolKind.PROTOZOA_SW,
+                           predictor=PredictorKind.WHOLE_REGION))
+    return mesi, sw
+
+
+class TestMESIEquivalence:
+    def test_identical_misses(self, pair):
+        mesi, sw = pair
+        assert mesi.stats.misses == sw.stats.misses
+        assert mesi.stats.read_misses == sw.stats.read_misses
+        assert mesi.stats.write_misses == sw.stats.write_misses
+        assert mesi.stats.upgrade_misses == sw.stats.upgrade_misses
+
+    def test_identical_invalidations(self, pair):
+        mesi, sw = pair
+        assert mesi.stats.invalidations_sent == sw.stats.invalidations_sent
+        assert mesi.stats.nacks == sw.stats.nacks
+
+    def test_identical_writebacks(self, pair):
+        mesi, sw = pair
+        assert mesi.stats.writebacks == sw.stats.writebacks
+
+    def test_identical_traffic_bytes(self, pair):
+        mesi, sw = pair
+        mesi.flush()
+        sw.flush()
+        assert mesi.stats.traffic.total == sw.stats.traffic.total
+        assert mesi.stats.traffic.control == sw.stats.traffic.control
+
+    def test_identical_flit_hops(self, pair):
+        mesi, sw = pair
+        assert mesi.net.total_flit_hops == sw.net.total_flit_hops
+
+
+class TestMWEquivalenceOnPrivateData:
+    """With no sharing at all, every protocol behaves identically."""
+
+    def test_private_traffic_identical(self):
+        results = {}
+        for kind in ProtocolKind:
+            p = make_engine(kind, predictor=PredictorKind.WHOLE_REGION)
+            rng = random.Random(3)
+            for _ in range(1500):
+                core = rng.randrange(p.config.cores)
+                # Each core touches a disjoint set of regions.
+                region = 100 * core + rng.randrange(10)
+                addr = region * 64 + rng.randrange(8) * 8
+                if rng.random() < 0.4:
+                    p.write(core, addr)
+                else:
+                    p.read(core, addr)
+            p.flush()
+            results[kind] = (p.stats.misses, p.stats.traffic.total,
+                             p.net.total_flit_hops)
+        assert len(set(results.values())) == 1

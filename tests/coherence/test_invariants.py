@@ -1,0 +1,114 @@
+"""Tests for the invariant checker itself (it must catch violations)."""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.common.params import ProtocolKind
+from repro.common.wordrange import WordRange
+from repro.memory.block import Block, LineState
+
+from tests.conftest import make_engine, region_addr
+
+REGION = 16
+
+
+def addr(word):
+    return region_addr(REGION, word)
+
+
+def plant(p, core, start, end, state):
+    """Force a block into an L1 behind the protocol's back."""
+    rng = WordRange(start, end)
+    block = Block(REGION, rng, state, [0] * rng.width)
+    p.l1s[core].insert(block, lambda v: None)
+    return block
+
+
+class TestCheckerCatchesViolations:
+    def test_two_writable_holders_of_one_word(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.write(0, addr(3))
+        plant(p, 1, 3, 3, LineState.M)
+        p.directory.entry(REGION).writers.add(1)
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+    def test_writable_plus_reader_overlap(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.write(0, addr(3))
+        plant(p, 1, 3, 3, LineState.S)
+        p.directory.entry(REGION).readers.add(1)
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+    def test_untracked_sharer(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 2, 0, 0, LineState.S)  # never told the directory
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+    def test_exclusive_holder_missing_from_writers(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 2, 0, 0, LineState.E)
+        p.directory.entry(REGION).readers.add(2)  # tracked, but as reader
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+    def test_region_level_swmr_for_sw(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW)
+        p.write(0, addr(0))
+        # A *disjoint* S copy elsewhere is fine at word level but illegal
+        # for the region-granularity SW protocol.
+        plant(p, 1, 7, 7, LineState.S)
+        p.directory.entry(REGION).readers.add(1)
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+    def test_multiple_writers_illegal_outside_mw(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW_MR)
+        plant(p, 0, 0, 0, LineState.M)
+        plant(p, 1, 7, 7, LineState.M)
+        entry = p.directory.entry(REGION)
+        entry.writers.update({0, 1})
+        with pytest.raises(InvariantViolation):
+            p.check_region_invariants(REGION)
+
+
+class TestCheckerAcceptsLegalStates:
+    def test_mw_disjoint_writers_legal(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.write(0, addr(0))
+        p.write(1, addr(7))
+        p.check_region_invariants(REGION)
+
+    def test_reader_overlap_legal(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.read(0, addr(3))
+        p.read(1, addr(3))
+        p.check_region_invariants(REGION)
+
+    def test_stale_directory_superset_legal(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.read(0, addr(3))
+        p.directory.entry(REGION).readers.add(2)  # stale superset is fine
+        p.check_region_invariants(REGION)
+
+    def test_empty_region_legal(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.check_region_invariants(999)
+
+
+class TestValueChecking:
+    def test_stale_value_detected(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        p.write(0, addr(3))
+        block = p.l1s[0].peek(REGION, 3)
+        block.data[0] = 424242  # corrupt the cached value
+        with pytest.raises(InvariantViolation):
+            p.read(0, addr(3))
+
+    def test_read_unfetched_word_is_protocol_error(self):
+        from repro.common.errors import ProtocolError
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        with pytest.raises(ProtocolError):
+            p._do_read(0, REGION, WordRange(0, 0))

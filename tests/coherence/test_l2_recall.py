@@ -1,0 +1,59 @@
+"""Tests for L2 capacity recalls (inclusion maintenance)."""
+
+import pytest
+
+from repro.common.params import L2Config
+
+from tests.conftest import ALL_KINDS, MessageLog, make_engine, region_addr
+
+
+def tiny_l2_engine(kind, capacity_regions=4):
+    # L2Config tiles*tile_kib*1024 bytes -> capacity_regions at 64 B/region.
+    # Use one tile holding exactly capacity_regions KiB-fractions: easiest is
+    # a custom config object with a small tile.
+    cfg_kib = max(capacity_regions * 64 // 1024, 1)
+    p = make_engine(kind, cores=2, l2=L2Config(tiles=1, tile_kib=cfg_kib))
+    assert p.l2.capacity_regions == max(capacity_regions, 16)
+    return p
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+class TestRecall:
+    def test_recall_invalidates_l1_copies(self, kind):
+        p = make_engine(kind, cores=2)
+        p.l2.capacity_regions = 2  # shrink after construction
+        p.write(0, region_addr(10))
+        p.read(1, region_addr(11))
+        p.read(0, region_addr(12))  # overflows: region 10 recalled
+        assert not p.l2.present(10)
+        assert p.l1s[0].blocks_of(10) == []
+        assert p.directory.peek(10) is None
+
+    def test_recall_preserves_dirty_data(self, kind):
+        p = make_engine(kind, cores=2)
+        p.l2.capacity_regions = 2
+        p.write(0, region_addr(10))
+        p.read(1, region_addr(11))
+        p.read(0, region_addr(12))  # recalls region 10 (dirty writeback)
+        assert p.l2.memory_writebacks == 1
+        # Re-reading region 10 must return the written value (value check).
+        p.read(0, region_addr(10))
+
+    def test_recall_emits_invalidation_messages(self, kind):
+        p = make_engine(kind, cores=2)
+        p.l2.capacity_regions = 2
+        p.write(0, region_addr(10))
+        p.read(1, region_addr(11))
+        log = MessageLog(p)
+        p.read(0, region_addr(12))
+        assert log.count("INV") >= 1  # the recall probe
+
+    def test_lru_region_chosen(self, kind):
+        p = make_engine(kind, cores=2)
+        p.l2.capacity_regions = 2
+        p.read(0, region_addr(10))
+        p.read(0, region_addr(11))
+        p.read(1, region_addr(10))  # miss at core 1: refreshes region 10 at L2
+        p.read(0, region_addr(12))
+        assert p.l2.present(10)
+        assert not p.l2.present(11)

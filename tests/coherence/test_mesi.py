@@ -1,0 +1,182 @@
+"""Scenario tests for the MESI baseline protocol."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+from tests.conftest import MessageLog, make_engine, region_addr
+
+R0 = region_addr(16)  # region 16, homed on node 0 in a 16-node mesh
+R1 = region_addr(17)
+
+
+def engine(**kw):
+    return make_engine(ProtocolKind.MESI, **kw)
+
+
+class TestReadPath:
+    def test_cold_read_grants_exclusive(self):
+        p = engine()
+        p.read(0, R0)
+        block = p.l1s[0].peek(16, 0)
+        assert block.state is LineState.E
+        assert p.directory.peek(16).writers == {0}
+
+    def test_second_read_hits(self):
+        p = engine()
+        p.read(0, R0)
+        log = MessageLog(p)
+        p.read(0, R0 + 8)  # same block, different word
+        assert log.entries == []
+
+    def test_shared_read_grants_s_to_both(self):
+        p = engine()
+        p.read(0, R0)
+        p.read(1, R0)
+        assert p.l1s[0].peek(16, 0).state is LineState.S
+        assert p.l1s[1].peek(16, 0).state is LineState.S
+        entry = p.directory.peek(16)
+        assert entry.readers == {0, 1}
+        assert entry.writers == set()
+
+    def test_read_from_dirty_owner_is_4hop(self):
+        p = engine()
+        p.write(0, R0, 8)
+        log = MessageLog(p)
+        p.read(1, R0)
+        assert log.labels() == ["GETS", "Fwd-GETS", "WBACK", "DATA"]
+        # full-block writeback and full-block fill
+        assert log.entries[2][3] == 8
+        assert log.entries[3][3] == 8
+
+    def test_value_forwarded_from_owner(self):
+        p = engine(check=True)
+        p.write(0, R0, 8)  # value check would fail if DATA were stale
+        p.read(1, R0)
+
+    def test_full_block_always_transferred(self):
+        p = engine()
+        log = MessageLog(p)
+        p.read(0, R0)
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][3] == 8
+
+
+class TestWritePath:
+    def test_write_invalidates_all_sharers(self):
+        p = engine()
+        for core in (1, 2, 3):
+            p.read(core, R0)
+        log = MessageLog(p)
+        p.write(0, R0)
+        assert log.count("INV") == 3
+        assert log.count("ACK") >= 3
+        for core in (1, 2, 3):
+            assert p.l1s[core].peek(16, 0) is None
+        assert p.directory.peek(16).writers == {0}
+
+    def test_upgrade_sends_no_data(self):
+        p = engine()
+        p.read(0, R0)
+        p.read(1, R0)
+        log = MessageLog(p)
+        p.write(0, R0)
+        assert "UPGRADE" in log.labels()
+        assert log.count("DATA") == 0
+        assert p.stats.upgrade_misses == 1
+
+    def test_write_to_dirty_remote_forwards(self):
+        p = engine()
+        p.write(1, R0)
+        log = MessageLog(p)
+        p.write(0, R0)
+        assert log.labels() == ["GETX", "Fwd-GETX", "WBACK", "DATA"]
+        assert p.l1s[1].peek(16, 0) is None
+
+    def test_silent_e_to_m_upgrade(self):
+        p = engine()
+        p.read(0, R0)  # E
+        log = MessageLog(p)
+        p.write(0, R0)  # silent E->M
+        assert log.entries == []
+        assert p.l1s[0].peek(16, 0).state is LineState.M
+
+    def test_write_after_silent_e_drop_is_reowned(self):
+        p = engine()
+        p.read(0, R0)  # E at core 0, tracked as writer
+        # Simulate silent drop by filling the set (region 16 and 16+sets collide).
+        # Easier: remove the block directly, as a silent clean eviction would.
+        block = p.l1s[0].peek(16, 0)
+        p.l1s[0].remove(block)
+        log = MessageLog(p)
+        p.write(0, R0)
+        # Directory still thinks core 0 owns it: no probes needed.
+        assert log.count("INV") == 0 and log.count("Fwd-GETX") == 0
+        assert p.l1s[0].peek(16, 0).state is LineState.M
+
+
+class TestNacks:
+    def test_stale_sharer_nacks_probe(self):
+        p = engine()
+        p.read(1, R0)  # E at core 1 (tracked as writer)
+        block = p.l1s[1].peek(16, 0)
+        p.l1s[1].remove(block)  # silent clean drop
+        log = MessageLog(p)
+        p.read(0, R0)
+        assert log.count("NACK") == 1
+        assert p.directory.peek(16).sharers() == {0}
+
+
+class TestEviction:
+    def test_dirty_eviction_writes_back_last(self):
+        # Two regions in the same set with a 1-way fixed cache force eviction.
+        p = make_engine(ProtocolKind.MESI, cores=2)
+        sets = p.l1s[0].num_sets
+        p.write(0, region_addr(16))
+        log = MessageLog(p)
+        p.write(0, region_addr(16 + sets))  # same set -> evict dirty victim
+        assert log.count("WBACK-LAST") >= 0  # depends on associativity
+        if log.count("WBACK-LAST"):
+            assert 16 not in {b.region for b in p.l1s[0]}
+
+    def test_forced_eviction_with_tiny_cache(self):
+        from repro.common.params import CacheGeometry
+        p = make_engine(
+            ProtocolKind.MESI, cores=2,
+            l1=CacheGeometry(sets=1, set_bytes=288, fixed_ways=1),
+        )
+        sets = p.l1s[0].num_sets
+        p.write(0, region_addr(16))
+        log = MessageLog(p)
+        p.write(0, region_addr(16 + sets))  # same set -> evicts the victim
+        assert log.count("WBACK-LAST") == 1
+        assert p.directory.peek(16).sharers() == set()
+        assert p.stats.writebacks_last == 1
+
+    def test_clean_eviction_is_silent(self):
+        from repro.common.params import CacheGeometry
+        p = make_engine(
+            ProtocolKind.MESI, cores=2,
+            l1=CacheGeometry(sets=1, set_bytes=288, fixed_ways=1),
+        )
+        sets = p.l1s[0].num_sets
+        p.read(0, region_addr(16))
+        log = MessageLog(p)
+        p.read(0, region_addr(16 + sets))
+        assert log.count("WBACK") == 0 and log.count("WBACK-LAST") == 0
+        # Directory still (stale) tracks core 0 for region 16.
+        assert 0 in p.directory.peek(16).sharers()
+
+
+class TestBlockSizeSweep:
+    @pytest.mark.parametrize("block_bytes,words", [(16, 2), (32, 4), (128, 16)])
+    def test_other_block_sizes(self, block_bytes, words):
+        from tests.conftest import small_config
+        from repro.system.machine import build_protocol
+        cfg = small_config(ProtocolKind.MESI, cores=2).with_block_bytes(block_bytes)
+        p = build_protocol(cfg)
+        log = MessageLog(p)
+        p.read(0, 0)
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][3] == words

@@ -1,0 +1,55 @@
+"""Tests for message types, categories, and byte sizing (paper Table 3)."""
+
+import pytest
+
+from repro.coherence.messages import MsgCategory, MsgType
+
+
+class TestSizes:
+    def test_control_messages_are_8_bytes(self):
+        for mtype in (MsgType.GETS, MsgType.GETX, MsgType.UPGRADE, MsgType.INV,
+                      MsgType.ACK, MsgType.ACK_S, MsgType.NACK,
+                      MsgType.FWD_GETS, MsgType.FWD_GETX):
+            assert mtype.size_bytes() == 8
+
+    def test_data_message_header_plus_words(self):
+        assert MsgType.DATA.size_bytes(0) == 8
+        assert MsgType.DATA.size_bytes(4) == 8 + 32
+        assert MsgType.WBACK.size_bytes(8) == 8 + 64
+
+    def test_control_cannot_carry_payload(self):
+        with pytest.raises(ValueError):
+            MsgType.ACK.size_bytes(1)
+
+
+class TestCategories:
+    def test_figure10_buckets(self):
+        assert MsgType.GETS.category is MsgCategory.REQ
+        assert MsgType.GETX.category is MsgCategory.REQ
+        assert MsgType.UPGRADE.category is MsgCategory.REQ
+        assert MsgType.FWD_GETS.category is MsgCategory.FWD
+        assert MsgType.FWD_GETX.category is MsgCategory.FWD
+        assert MsgType.INV.category is MsgCategory.INV
+        assert MsgType.ACK.category is MsgCategory.ACK
+        assert MsgType.ACK_S.category is MsgCategory.ACK
+        assert MsgType.NACK.category is MsgCategory.NACK
+
+    def test_data_headers_bucketed_separately(self):
+        assert MsgType.DATA.category is MsgCategory.HDR
+        assert MsgType.WBACK.category is MsgCategory.HDR
+        assert MsgType.WBACK_LAST.category is MsgCategory.HDR
+
+
+class TestProtozoaAdditions:
+    """Table 3: the message types Protozoa adds over MESI."""
+
+    def test_wback_last_exists_and_carries_data(self):
+        assert MsgType.WBACK_LAST.carries_data
+
+    def test_ack_s_is_control(self):
+        assert not MsgType.ACK_S.carries_data
+        assert MsgType.ACK_S.size_bytes() == 8
+
+    def test_labels_unique(self):
+        labels = [m.label for m in MsgType]
+        assert len(labels) == len(set(labels))

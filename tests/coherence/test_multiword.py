@@ -1,0 +1,80 @@
+"""Multi-word access handling across all protocols."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+from tests.conftest import ALL_KINDS, MessageLog, make_engine, region_addr
+
+REGION = 16
+BASE = region_addr(REGION)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+class TestMultiWordAccesses:
+    def test_full_region_read(self, kind):
+        p = make_engine(kind, check=True)
+        p.read(0, BASE, 64)
+        covered = p.l1s[0].covered_mask(REGION, p.amap.full_range())
+        assert covered == 0xFF
+
+    def test_full_region_write(self, kind):
+        p = make_engine(kind, check=True)
+        p.write(0, BASE, 64)
+        for word in range(8):
+            block = p.l1s[0].peek(REGION, word)
+            assert block is not None and block.state is LineState.M
+
+    def test_partial_span_read_then_adjacent_write(self, kind):
+        p = make_engine(kind, check=True)
+        p.read(0, BASE + 16, 24)  # words 2-4
+        p.write(0, BASE + 40, 16)  # words 5-6
+        assert p.l1s[0].covered_mask(REGION, p.amap.full_range()) & 0b01111100 \
+            == 0b01111100
+
+    def test_cross_region_access_clamped(self, kind):
+        # Accesses never straddle regions: the range clips at the boundary.
+        p = make_engine(kind, check=True)
+        p.read(0, BASE + 56, 32)  # word 7 + would-be spill
+        assert p.l1s[0].peek(REGION, 7) is not None
+        assert p.l1s[0].blocks_of(REGION + 1) == []
+
+    def test_write_spanning_own_and_remote_words(self, kind):
+        p = make_engine(kind, check=True)
+        p.write(0, BASE, 16)  # core 0 owns words 0-1
+        p.write(1, BASE + 32, 16)  # core 1 owns words 4-5
+        p.write(0, BASE, 64)  # core 0 takes the whole region
+        assert p.l1s[1].overlapping(REGION, p.amap.full_range()) == []
+        # Values must have been patched through (check_values verifies).
+        p.read(0, BASE + 32)
+
+    def test_upgrade_span_is_exclusive_everywhere(self, kind):
+        p = make_engine(kind, check=True)
+        p.read(0, BASE, 64)
+        p.read(1, BASE, 64)
+        p.write(0, BASE + 24, 16)  # words 3-4 upgrade
+        # Core 1 must have lost at least the overlapping words.
+        assert p.l1s[1].covered_mask(REGION, p.amap.full_range()) & 0b00011000 == 0
+
+    def test_merge_survives_repeated_overlapping_spans(self, kind):
+        p = make_engine(kind, check=True)
+        for start in range(0, 6):
+            p.read(0, BASE + start * 8, 24)  # sliding 3-word window
+        p.l1s[0].check_integrity()
+        assert p.l1s[0].covered_mask(REGION, p.amap.full_range()) == 0xFF
+
+
+class TestMergedStateEscalation:
+    def test_read_merge_with_own_dirty_requests_exclusive(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW, check=True)
+        p.write(0, BASE + 32, 8)  # word 4 dirty at core 0
+        p.read(1, BASE + 16, 8)  # word 2 shared at core 1
+        log = MessageLog(p)
+        # Core 0 reads words 2-4: merges with its own M block, so the
+        # request must be exclusive and invalidate core 1's overlap.
+        p.read(0, BASE + 16, 24)
+        assert p.l1s[1].blocks_of(REGION) == []
+        merged = p.l1s[0].peek(REGION, 3)
+        assert merged.state is LineState.M
+        p.check_all_invariants()

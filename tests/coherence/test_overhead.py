@@ -1,0 +1,60 @@
+"""Tests for the Section 3.6 metadata storage model."""
+
+import pytest
+
+from repro.coherence.overhead import (
+    directory_overhead,
+    entry_bits,
+    overhead_table,
+)
+from repro.common.params import ProtocolKind, SystemConfig
+
+
+class TestEntryBits:
+    def test_mesi_and_sw_identical(self):
+        # "For Protozoa-SW, each directory entry is identical in size to
+        # the baseline MESI protocol."
+        assert entry_bits(ProtocolKind.MESI, 16) == 16
+        assert entry_bits(ProtocolKind.PROTOZOA_SW, 16) == 16
+
+    def test_mw_doubles(self):
+        # "Protozoa-MW doubles the size of each directory entry."
+        assert entry_bits(ProtocolKind.PROTOZOA_MW, 16) == 32
+
+    def test_swmr_adds_log_p(self):
+        # "Protozoa-SW+MR ... needs only logP additional bits."
+        assert entry_bits(ProtocolKind.PROTOZOA_SW_MR, 16) == 16 + 4
+        assert entry_bits(ProtocolKind.PROTOZOA_SW_MR, 64) == 64 + 6
+
+    def test_small_core_counts(self):
+        assert entry_bits(ProtocolKind.PROTOZOA_SW_MR, 2) == 3
+
+
+class TestDirectorySizing:
+    def test_entries_track_l2_regions(self):
+        cfg = SystemConfig()
+        ov = directory_overhead(cfg)
+        assert ov.entries == 32 * 1024 * 1024 // 64
+        assert ov.bits_per_entry == 16
+
+    def test_table4_mesi_overhead(self):
+        # 16-bit vector per 64-byte block = 2/64 ~ 3.1% of the L2 array.
+        cfg = SystemConfig()
+        ov = directory_overhead(cfg)
+        assert ov.overhead_vs_l2(cfg.l2.capacity_bytes) == pytest.approx(2 / 64)
+
+    def test_mw_costs_twice_mesi(self):
+        mesi = directory_overhead(SystemConfig())
+        mw = directory_overhead(SystemConfig(protocol=ProtocolKind.PROTOZOA_MW))
+        assert mw.total_bytes == 2 * mesi.total_bytes
+
+    def test_total_bits_bytes(self):
+        ov = directory_overhead(SystemConfig(cores=16))
+        assert ov.total_bytes == ov.total_bits // 8
+
+
+class TestTable:
+    def test_render(self):
+        text = overhead_table(16)
+        assert "MESI" in text and "MW" in text
+        assert "2.00" in text  # MW doubles

@@ -1,0 +1,173 @@
+"""Scenario tests for Protozoa-SW (Sections 3.2-3.3 of the paper)."""
+
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+from tests.conftest import MessageLog, make_engine, region_addr
+
+REGION = 16
+BASE = region_addr(REGION)
+
+
+def addr(word):
+    return BASE + word * 8
+
+
+def engine(**kw):
+    return make_engine(ProtocolKind.PROTOZOA_SW, **kw)
+
+
+class TestVariableGranularity:
+    def test_single_word_fetch(self):
+        p = engine()
+        log = MessageLog(p)
+        p.read(0, addr(3))
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][3] == 1  # one word, not eight
+
+    def test_multiple_blocks_per_region_in_one_l1(self):
+        p = engine()
+        p.write(0, addr(0))
+        p.write(0, addr(7))
+        blocks = p.l1s[0].blocks_of(REGION)
+        assert len(blocks) == 2
+        assert {b.range.start for b in blocks} == {0, 7}
+
+    def test_adjacent_fetches_merge(self):
+        p = engine()
+        p.read(0, addr(2))
+        p.read(0, addr(2) + 8 * 1)  # word 3: separate block (adjacent)
+        # adjacent but non-overlapping blocks stay separate
+        assert len(p.l1s[0].blocks_of(REGION)) == 2
+
+    def test_overlapping_fetch_merges(self):
+        p = engine()
+        p.read(0, addr(2), 16)  # words 2-3
+        p.read(0, addr(3), 16)  # words 3-4: overlaps -> merge into 2-4
+        blocks = p.l1s[0].blocks_of(REGION)
+        assert len(blocks) == 1
+        assert blocks[0].range.as_tuple() == (2, 4)
+
+
+class TestOwnerAddOns:
+    """Paper Section 3.3: Additional GETXs and multiple writebacks."""
+
+    def test_additional_getx_from_owner_probes_nobody(self):
+        p = engine()
+        p.write(1, addr(1))  # owner of the region
+        log = MessageLog(p)
+        p.write(1, addr(5))  # additional GETX from the same owner
+        assert log.count("Fwd-GETX") == 0
+        assert log.count("INV") == 0
+        assert log.count("GETX") == 1
+        assert len(p.l1s[1].blocks_of(REGION)) == 2
+
+    def test_intermediate_wback_keeps_sharer(self):
+        from repro.common.params import CacheGeometry
+        # Tiny Amoeba L1: one set, budget for two one-word blocks.
+        p = engine(cores=2, l1=CacheGeometry(sets=1, set_bytes=32))
+        sets = 1
+        p.write(0, addr(0))
+        p.write(0, addr(5))
+        log = MessageLog(p)
+        # Third block forces eviction of the LRU dirty block: WBACK, not LAST.
+        p.write(0, addr(7))
+        assert log.count("WBACK") == 1
+        assert log.count("WBACK-LAST") == 0
+        assert 0 in p.directory.peek(REGION).sharers()
+
+    def test_final_wback_is_last_and_unsets_sharer(self):
+        from repro.common.params import CacheGeometry
+        p = engine(cores=2, l1=CacheGeometry(sets=1, set_bytes=16))
+        p.write(0, addr(0))  # single one-word block fills the budget
+        log = MessageLog(p)
+        p.write(0, region_addr(REGION + 1))  # different region, same set
+        assert log.count("WBACK-LAST") == 1
+        assert p.directory.peek(REGION).sharers() == set()
+
+
+class TestRegionGranularityCoherence:
+    """SW keeps coherence at region granularity: false sharing persists."""
+
+    def test_disjoint_writer_still_invalidates(self):
+        p = engine()
+        p.write(1, addr(7))  # core 1 writes word 7
+        log = MessageLog(p)
+        p.write(0, addr(0))  # core 0 writes word 0: disjoint, still invalidates
+        assert log.count("Fwd-GETX") == 1
+        assert p.l1s[1].blocks_of(REGION) == []
+
+    def test_disjoint_reader_invalidated_by_writer(self):
+        p = engine()
+        p.read(1, addr(7))
+        p.read(2, addr(6))
+        log = MessageLog(p)
+        p.write(0, addr(0))
+        assert log.count("INV") == 2
+        assert p.l1s[1].blocks_of(REGION) == []
+        assert p.l1s[2].blocks_of(REGION) == []
+
+    def test_write_gathers_all_owner_blocks(self):
+        p = engine()
+        p.write(1, addr(2))
+        p.write(1, addr(5))  # two separate dirty blocks at core 1
+        log = MessageLog(p)
+        p.write(0, addr(0))
+        wbacks = [e for e in log.entries if e[0] == "WBACK"]
+        assert len(wbacks) == 1  # single gathered writeback (Figure 3)
+        assert wbacks[0][3] == 2  # both dirty words transmitted
+
+    def test_multi_block_snoop_counted(self):
+        p = engine()
+        p.write(1, addr(2))
+        p.write(1, addr(5))
+        p.write(0, addr(0))
+        assert p.mshrs[1].coh_blocking_events == 1
+
+
+class TestReadSharing:
+    def test_variable_granularity_read_sharing(self):
+        p = engine()
+        p.read(1, addr(0), 16)  # words 0-1
+        p.read(2, addr(6), 16)  # words 6-7
+        entry = p.directory.peek(REGION)
+        assert entry.readers == {1, 2}
+        assert p.l1s[1].peek(REGION, 0).state is LineState.S
+
+    def test_gets_downgrades_owner_to_sharer(self):
+        p = engine()
+        p.write(1, addr(2))
+        log = MessageLog(p)
+        p.read(0, addr(2))
+        assert log.labels()[:3] == ["GETS", "Fwd-GETS", "WBACK"]
+        entry = p.directory.peek(REGION)
+        assert entry.writers == set()
+        assert entry.readers == {0, 1}
+        assert p.l1s[1].peek(REGION, 2).state is LineState.S
+
+    def test_owner_keeps_data_after_downgrade(self):
+        p = engine(check=True)
+        p.write(1, addr(2))
+        p.read(0, addr(2))
+        p.read(1, addr(2))  # must hit and see its own value
+        assert p.stats.read_hits >= 1
+
+    def test_data_reply_carries_only_requested_words(self):
+        p = engine()
+        p.write(1, addr(2), 8)
+        p.write(1, addr(3), 8)
+        log = MessageLog(p)
+        p.read(0, addr(2), 8)  # wants word 2 only
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][3] == 1
+
+
+class TestSingleWriterInvariant:
+    def test_no_two_owners(self):
+        p = engine(check=True)
+        p.write(0, addr(0))
+        p.write(1, addr(7))
+        p.write(2, addr(3))
+        entry = p.directory.peek(REGION)
+        assert len(entry.writers) == 1
+        assert entry.writers == {2}

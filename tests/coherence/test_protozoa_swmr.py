@@ -1,0 +1,134 @@
+"""Scenario tests for Protozoa-SW+MR: single writer + disjoint readers (§3.5)."""
+
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+from tests.conftest import MessageLog, make_engine, region_addr
+
+REGION = 16
+BASE = region_addr(REGION)
+
+
+def addr(word):
+    return BASE + word * 8
+
+
+def engine(**kw):
+    return make_engine(ProtocolKind.PROTOZOA_SW_MR, **kw)
+
+
+class TestReaderWriterCoexistence:
+    def test_disjoint_reader_survives_writer(self):
+        p = engine(check=True)
+        p.write(1, addr(7))  # writer
+        log = MessageLog(p)
+        p.read(0, addr(0))  # disjoint reader
+        assert log.count("ACK-S") == 1  # writer probed, keeps its word
+        assert p.l1s[1].peek(REGION, 7).state is LineState.M
+        assert p.l1s[0].peek(REGION, 0) is not None
+        entry = p.directory.peek(REGION)
+        assert entry.writers == {1}
+        assert 0 in entry.readers
+
+    def test_writer_keeps_writing_while_readers_read(self):
+        p = engine(check=True)
+        p.write(1, addr(7))
+        p.read(0, addr(0))
+        p.read(2, addr(1))
+        log = MessageLog(p)
+        p.write(1, addr(7))  # hit
+        p.read(0, addr(0))  # hit
+        assert log.entries == []
+
+    def test_overlapping_read_downgrades_writer(self):
+        p = engine(check=True)
+        p.write(1, addr(2))
+        p.read(0, addr(2))
+        assert p.l1s[1].peek(REGION, 2).state is LineState.S
+        entry = p.directory.peek(REGION)
+        # Writer had no other dirty blocks: demoted to reader.
+        assert entry.writers == set()
+        assert entry.readers == {0, 1}
+
+    def test_partially_overlapping_read_keeps_writer_status(self):
+        p = engine(check=True)
+        p.write(1, addr(2))
+        p.write(1, addr(6))  # two dirty blocks
+        p.read(0, addr(2))  # downgrades only word 2
+        entry = p.directory.peek(REGION)
+        assert entry.writers == {1}  # word 6 still dirty
+        assert p.l1s[1].peek(REGION, 6).state is LineState.M
+
+
+class TestSingleWriterRevocation:
+    def test_new_writer_revokes_old(self):
+        p = engine(check=True)
+        p.write(3, addr(7))
+        log = MessageLog(p)
+        p.write(0, addr(0))  # disjoint, but SW+MR allows only one writer
+        assert log.count("Fwd-GETX") == 1
+        wbacks = [e for e in log.entries if e[0].startswith("WBACK")]
+        assert len(wbacks) == 1  # old writer's dirty data written back
+        entry = p.directory.peek(REGION)
+        assert entry.writers == {0}
+        assert 3 in entry.readers  # downgraded writer remains a sharer
+
+    def test_revoked_writer_keeps_reading_its_word(self):
+        p = engine(check=True)
+        p.write(3, addr(7))
+        p.write(0, addr(0))
+        log = MessageLog(p)
+        p.read(3, addr(7))  # S copy retained: hit
+        assert log.entries == []
+
+    def test_revoked_writer_rewrite_misses_again(self):
+        p = engine(check=True)
+        p.write(3, addr(7))
+        p.write(0, addr(0))
+        before = p.stats.misses
+        p.write(3, addr(7))  # must re-acquire write permission
+        assert p.stats.misses == before + 1
+        assert p.directory.peek(REGION).writers == {3}
+
+    def test_overlapping_revocation_invalidates(self):
+        p = engine(check=True)
+        p.write(3, addr(0))
+        p.write(0, addr(0))  # same word: old writer's block must die
+        assert p.l1s[3].blocks_of(REGION) == []
+        assert 3 not in p.directory.peek(REGION).sharers()
+
+    def test_writer_additional_getx_probes_readers_only(self):
+        p = engine(check=True)
+        p.write(1, addr(0))
+        p.read(2, addr(7))
+        log = MessageLog(p)
+        p.write(1, addr(3))  # writer extends its footprint
+        assert log.count("Fwd-GETX") == 0  # no writer to revoke (itself)
+        assert log.count("INV") == 1  # reader probed
+        assert log.count("ACK-S") == 1  # disjoint reader stays
+        assert p.directory.peek(REGION).writers == {1}
+
+
+class TestArity:
+    def test_never_two_writers(self):
+        p = engine(check=True)
+        for core, word in [(0, 0), (1, 2), (2, 4), (3, 6)]:
+            p.write(core, addr(word))
+            assert len(p.directory.peek(REGION).writers) == 1
+
+    def test_overlapping_readers_invalidated_on_write(self):
+        p = engine(check=True)
+        p.read(1, addr(3))
+        p.read(2, addr(3))
+        p.write(0, addr(3))
+        assert p.l1s[1].blocks_of(REGION) == []
+        assert p.l1s[2].blocks_of(REGION) == []
+
+    def test_disjoint_write_traffic_less_than_overlap(self):
+        # Disjoint-from-readers write produces ACK-S, no re-fetch misses later.
+        p = engine(check=True)
+        p.read(1, addr(5))
+        p.write(0, addr(0))
+        log = MessageLog(p)
+        p.read(1, addr(5))  # still cached
+        assert log.entries == []

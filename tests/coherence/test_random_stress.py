@@ -1,0 +1,82 @@
+"""Random-tester stress runs (the paper's verification methodology).
+
+Every protocol is driven with adversarial random traffic under full value
+and invariant checking, in both hot-sharing and capacity-stress shapes,
+plus a hypothesis-driven short fuzz across seeds and parameters.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.verification.random_tester import RandomTester
+
+from tests.conftest import ALL_KINDS
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+class TestHotSharing:
+    def test_contended_regions(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        report = RandomTester(cfg, regions=4, seed=11, check_every=16).run(2000)
+        assert report.accesses == 2000
+        assert report.misses > 0
+        assert report.invalidations > 0
+
+    def test_wide_spans(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        report = RandomTester(cfg, regions=3, max_span_words=8, seed=5, check_every=16).run(1200)
+        assert report.writebacks > 0
+
+    def test_write_heavy(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        RandomTester(cfg, regions=4, write_frac=0.9, seed=2, check_every=16).run(1200)
+
+    def test_read_heavy(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        RandomTester(cfg, regions=4, write_frac=0.05, seed=2, check_every=16).run(1200)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+class TestCapacityStress:
+    def test_same_set_churn(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        report = RandomTester(cfg, regions=10, seed=13, same_set=True, check_every=16).run(2000)
+        assert report.evictions > 0
+
+    def test_nacks_exercised(self, kind):
+        cfg = SystemConfig(protocol=kind, cores=4)
+        report = RandomTester(cfg, regions=10, seed=13, same_set=True,
+                              write_frac=0.6, check_every=16).run(2000)
+        assert report.nacks > 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_many_cores(kind):
+    cfg = SystemConfig(protocol=kind, cores=16)
+    report = RandomTester(cfg, regions=6, seed=17, check_every=32).run(2000)
+    assert report.accesses == 2000
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_multi_block_snoops_exercised(kind):
+    if kind is ProtocolKind.MESI:
+        pytest.skip("fixed blocks never need multi-block snoops")
+    cfg = SystemConfig(protocol=kind, cores=4)
+    report = RandomTester(cfg, regions=3, seed=19, check_every=16).run(1500)
+    assert report.multi_block_snoops > 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    seed=st.integers(0, 1000),
+    regions=st.integers(1, 6),
+    write_frac=st.floats(0.1, 0.9),
+    same_set=st.booleans(),
+)
+def test_fuzz_never_violates(kind, seed, regions, write_frac, same_set):
+    cfg = SystemConfig(protocol=kind, cores=3)
+    tester = RandomTester(cfg, regions=regions, write_frac=write_frac,
+                          seed=seed, same_set=same_set, check_every=4)
+    tester.run(400)

@@ -1,0 +1,101 @@
+"""Tests for the 3-hop forwarding option (paper Section 6)."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+
+from tests.conftest import ALL_KINDS, MessageLog, make_engine, region_addr
+
+REGION = 16
+BASE = region_addr(REGION)
+
+
+def addr(word):
+    return BASE + word * 8
+
+
+class TestMESIThreeHop:
+    def test_dirty_owner_forwards_directly(self):
+        p = make_engine(ProtocolKind.MESI, three_hop=True)
+        p.write(1, addr(0))
+        log = MessageLog(p)
+        p.read(0, addr(0))
+        # DATA now originates at core 1's node, not the home.
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert len(data) == 1
+        assert data[0][1] == p.topology.core_node(1)
+        assert data[0][2] == p.topology.core_node(0)
+        assert log.count("WBACK") == 1  # home still patched in parallel
+        assert log.count("ACK") >= 1  # completion from home
+
+    def test_three_hop_lowers_latency(self):
+        def read_latency(three_hop):
+            p = make_engine(ProtocolKind.MESI, cores=16, three_hop=three_hop)
+            # Home of region 21 is node 5; owner at core 15, requester 0:
+            # the direct hop is shorter than owner->home->requester.
+            p.write(15, region_addr(21))
+            return p.read(0, region_addr(21))
+
+        assert read_latency(True) < read_latency(False)
+
+    def test_clean_or_absent_owner_falls_back(self):
+        p = make_engine(ProtocolKind.MESI, three_hop=True)
+        p.read(1, addr(0))  # E (clean) at core 1
+        log = MessageLog(p)
+        p.read(0, addr(0))
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][1] == p.topology.home_node(REGION)  # 4-hop from home
+
+    def test_l2_resident_data_unaffected(self):
+        p = make_engine(ProtocolKind.MESI, three_hop=True)
+        p.read(1, addr(0))
+        p.read(2, addr(0))
+        log = MessageLog(p)
+        p.read(0, addr(0))  # no dirty owner at all
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][1] == p.topology.home_node(REGION)
+
+
+class TestProtozoaFallback:
+    def test_partial_overlap_falls_back_to_four_hop(self):
+        # Paper: "it could occur because the fwd request does not overlap,
+        # or partially overlap, with the owner" -> fall back to 4-hop.
+        p = make_engine(ProtocolKind.PROTOZOA_MW, three_hop=True)
+        p.write(1, addr(2))  # owner holds word 2 dirty only
+        log = MessageLog(p)
+        p.read(0, addr(2), 16)  # wants words 2-3: owner covers only word 2
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][1] == p.topology.home_node(REGION)
+
+    def test_full_overlap_forwards(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW, three_hop=True)
+        p.write(1, addr(2), 16)  # owner holds words 2-3 dirty
+        log = MessageLog(p)
+        p.read(0, addr(2), 16)
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][1] == p.topology.core_node(1)
+
+    def test_multiple_suppliers_fall_back(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW, three_hop=True)
+        p.write(1, addr(0))
+        p.write(2, addr(7))  # two disjoint dirty owners
+        log = MessageLog(p)
+        p.write(0, addr(0), 64)  # needs writebacks from both
+        data = [e for e in log.entries if e[0] == "DATA"]
+        assert data[0][1] == p.topology.home_node(REGION)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+class TestThreeHopCorrectness:
+    def test_random_tester_passes(self, kind):
+        from repro.common.params import SystemConfig
+        from repro.verification.random_tester import RandomTester
+        cfg = SystemConfig(protocol=kind, cores=4, three_hop=True)
+        RandomTester(cfg, regions=4, seed=31, check_every=16).run(1500)
+
+    def test_values_forwarded_correctly(self, kind):
+        p = make_engine(kind, three_hop=True, check=True)
+        p.write(1, addr(0))
+        p.read(0, addr(0))  # golden-value check validates the forward
+        p.write(2, addr(0))
+        p.read(3, addr(0))

@@ -1,0 +1,143 @@
+"""The paper's figure walkthroughs as executable message-sequence tests.
+
+Each test reconstructs the initial cache/directory state of a figure in
+Section 3 and asserts the exact coherence-message sequence the paper draws.
+"""
+
+from repro.common.params import ProtocolKind
+from repro.memory.block import LineState
+
+from tests.conftest import MessageLog, make_engine, region_addr
+
+REGION = 16
+BASE = region_addr(REGION)
+
+
+def addr(word):
+    return BASE + word * 8
+
+
+class TestFigure4:
+    """Write miss (GETX) handling in Protozoa-SW."""
+
+    def test_sequence(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW, check=True)
+        for w in range(2, 7):
+            p.write(1, addr(w))  # Core-1 caches words 2-6 dirty
+        log = MessageLog(p)
+        p.write(0, addr(0), 8 * 4)  # Core-0 GETX for words 0-3
+        assert log.labels() == ["GETX", "Fwd-GETX", "WBACK", "DATA"]
+        # 3y: Core-1 writes back all cached words, overlapping or not.
+        assert log.entries[2][3] == 5  # words 2-6
+        # 4y: the L2 forwards only the requested words 0-3.
+        assert log.entries[3][3] == 4
+
+    def test_final_state(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW, check=True)
+        for w in range(2, 7):
+            p.write(1, addr(w))
+        p.write(0, addr(0), 8 * 4)
+        assert p.directory.peek(REGION).writers == {0}
+        assert p.l1s[1].blocks_of(REGION) == []
+        got = p.l1s[0].blocks_of(REGION)
+        assert len(got) == 1 and got[0].range.as_tuple() == (0, 3)
+
+
+class TestFigure5:
+    """Multiple L1 operations to sub-blocks in a REGION (owner add-ons)."""
+
+    def test_additional_getx_returns_data_to_owner(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW, check=True)
+        p.write(1, addr(1), 8 * 3)  # owner holds 1-3
+        log = MessageLog(p)
+        p.write(1, addr(4), 8 * 4)  # additional GETX for 4-7
+        assert log.labels() == ["GETX", "DATA"]
+        assert log.entries[1][3] == 4
+
+    def test_partial_eviction_keeps_directory_tracking(self):
+        from repro.common.params import CacheGeometry
+        # Budget 40B = tag8+3words + no room for a second 4-word block.
+        p = make_engine(ProtocolKind.PROTOZOA_SW, cores=2,
+                        l1=CacheGeometry(sets=1, set_bytes=40))
+        p.write(1, addr(1), 8 * 3)  # dirty block 1-3
+        log = MessageLog(p)
+        p.write(1, addr(6), 8 * 2)  # 6-7 forces eviction of 1-3
+        assert log.count("WBACK") == 1  # plain WBACK: not the last block
+        assert 1 in p.directory.peek(REGION).sharers()
+
+
+class TestFigure6:
+    """The GETS/Fwd-GETX interaction: an owner with dirty words 5-7 that
+    also wants 0-3 while a remote writer takes the region."""
+
+    def test_owner_reads_more_words_then_remote_getx(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW, check=True)
+        for w in range(5, 8):
+            p.write(0, addr(w))  # Core-0 dirty 5-7 (M)
+        p.read(0, addr(0), 8 * 4)  # Core-0 GETS 0-3 (owner reading more)
+        log = MessageLog(p)
+        p.write(1, addr(0), 8 * 8)  # Core-1 GETX 0-7
+        assert log.labels() == ["GETX", "Fwd-GETX", "WBACK", "DATA"]
+        # Core-0's dirty words 5-7 reach Core-1 through the L2 (value check
+        # enforces it); Core-1 owns the region now.
+        assert p.directory.peek(REGION).writers == {1}
+        assert p.l1s[0].blocks_of(REGION) == []
+
+    def test_downgrade_after_write_supplies_correct_data(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW, check=True)
+        for w in range(5, 8):
+            p.write(0, addr(w))
+        p.write(1, addr(0), 8 * 8)  # core 1 owns 0-7 dirty
+        p.read(0, addr(0), 8 * 4)  # core 0 reads back: downgrade core 1
+        entry = p.directory.peek(REGION)
+        assert entry.writers == set()
+        assert entry.readers == {0, 1}
+
+
+class TestFigure7:
+    """Write miss (GETX) handling in Protozoa-MW."""
+
+    def setup_engine(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW, check=True)
+        for w in range(2, 7):
+            p.write(1, addr(w))  # C1: overlapping dirty sharer (2-6)
+        p.read(2, addr(0))  # C2: overlapping clean sharer (word 0)
+        p.write(3, addr(7))  # C3: non-overlapping dirty sharer (word 7)
+        return p
+
+    def test_sequence(self):
+        p = self.setup_engine()
+        log = MessageLog(p)
+        p.write(0, addr(0), 8 * 4)  # Core-0 GETX words 0-3
+        labels = log.labels()
+        assert labels[0] == "GETX"
+        assert labels[-1] == "DATA"
+        # C1 (dirty overlap): WBACK + invalidate of words 2-3.
+        wbacks = [e for e in log.entries if e[0] == "WBACK"]
+        assert len(wbacks) == 1 and wbacks[0][3] == 2
+        # C2 (clean overlap): plain ACK.  C3 (non-overlap): ACK-S.
+        assert log.count("ACK") >= 1
+        assert log.count("ACK-S") == 1
+
+    def test_final_state_c0_and_c3_both_write(self):
+        p = self.setup_engine()
+        p.write(0, addr(0), 8 * 4)
+        # Final: C0 caches 0-3 for writing, C3 still caches word 7 dirty.
+        assert p.l1s[0].blocks_of(REGION)[0].range.as_tuple() == (0, 3)
+        assert p.l1s[3].peek(REGION, 7).state is LineState.M
+        entry = p.directory.peek(REGION)
+        # (Unlike the figure, C1 cached its words as per-word blocks, so its
+        # non-overlapping dirty words 4-6 survive and it stays a writer.)
+        assert entry.writers == {0, 1, 3}
+        log = MessageLog(p)
+        p.write(0, addr(1))
+        p.write(3, addr(7))
+        assert log.entries == []  # concurrent disjoint writers, zero traffic
+
+    def test_c1_partial_survival(self):
+        p = self.setup_engine()
+        p.write(0, addr(0), 8 * 4)
+        # C1's non-overlapping dirty words 4-6 survive.
+        kept = sorted(b.range.start for b in p.l1s[1].blocks_of(REGION))
+        assert kept == [4, 5, 6]
+        assert 1 in p.directory.peek(REGION).writers

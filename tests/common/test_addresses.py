@@ -1,0 +1,93 @@
+"""Tests for byte-address <-> (region, word) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import WORD_BYTES, AddressMap
+from repro.common.errors import ConfigError
+from repro.common.wordrange import WordRange
+
+
+class TestConstruction:
+    def test_default_region(self):
+        amap = AddressMap()
+        assert amap.region_bytes == 64
+        assert amap.words_per_region == 8
+
+    def test_non_word_multiple_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(region_bytes=60)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(region_bytes=0)
+
+    @pytest.mark.parametrize("size,words", [(16, 2), (32, 4), (64, 8), (128, 16)])
+    def test_sweep_sizes(self, size, words):
+        assert AddressMap(size).words_per_region == words
+
+
+class TestConversions:
+    def test_split(self):
+        amap = AddressMap(64)
+        assert amap.split(0) == (0, 0)
+        assert amap.split(63) == (0, 7)
+        assert amap.split(64) == (1, 0)
+        assert amap.split(130) == (2, 0)
+
+    def test_addr_of_inverts_split(self):
+        amap = AddressMap(64)
+        addr = amap.addr_of(5, 3)
+        assert amap.split(addr) == (5, 3)
+
+    def test_base(self):
+        assert AddressMap(64).base(3) == 192
+
+    @given(st.integers(0, 2**40), st.sampled_from([16, 32, 64, 128]))
+    def test_roundtrip_property(self, addr, region_bytes):
+        amap = AddressMap(region_bytes)
+        region, word = amap.split(addr)
+        back = amap.addr_of(region, word)
+        assert back <= addr < back + WORD_BYTES
+
+
+class TestAccessRange:
+    def test_single_byte(self):
+        amap = AddressMap(64)
+        assert amap.access_range(17, 1) == (0, WordRange(2, 2))
+
+    def test_unaligned_word_access_spans_two_words(self):
+        amap = AddressMap(64)
+        assert amap.access_range(20, 8) == (0, WordRange(2, 3))
+
+    def test_aligned_word(self):
+        amap = AddressMap(64)
+        region, rng = amap.access_range(24, 8)
+        assert (region, rng) == (0, WordRange(3, 3))
+
+    def test_multi_word(self):
+        amap = AddressMap(64)
+        region, rng = amap.access_range(0, 32)
+        assert (region, rng) == (0, WordRange(0, 3))
+
+    def test_clamped_at_region_boundary(self):
+        amap = AddressMap(64)
+        region, rng = amap.access_range(56, 16)  # would spill into next region
+        assert region == 0
+        assert rng == WordRange(7, 7)
+
+    def test_zero_size_treated_as_one_byte(self):
+        amap = AddressMap(64)
+        assert amap.access_range(8, 0) == (0, WordRange(1, 1))
+
+    @given(st.integers(0, 2**30), st.integers(1, 64))
+    def test_range_always_within_region(self, addr, size):
+        amap = AddressMap(64)
+        region, rng = amap.access_range(addr, size)
+        assert 0 <= rng.start <= rng.end < amap.words_per_region
+        assert amap.region_of(addr) == region
+        assert rng.contains(amap.word_of(addr))
+
+    def test_full_range(self):
+        assert AddressMap(64).full_range() == WordRange(0, 7)
+        assert AddressMap(16).full_range() == WordRange(0, 1)

@@ -1,0 +1,109 @@
+"""Tests for the system configuration (Table 4 defaults and validation)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import (
+    CacheGeometry,
+    L2Config,
+    NetworkConfig,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
+
+
+class TestDefaults:
+    def test_table4_machine(self):
+        cfg = SystemConfig()
+        assert cfg.cores == 16
+        assert cfg.region_bytes == 64
+        assert cfg.l1.sets == 256
+        assert cfg.l1.set_bytes == 288
+        assert cfg.l1.hit_latency == 2
+        assert cfg.l2.tiles == 16
+        assert cfg.l2.hit_latency == 14
+        assert cfg.network.mesh_width == 4
+        assert cfg.network.flit_bytes == 16
+        assert cfg.network.link_latency == 2
+        assert cfg.memory_latency == 300
+
+    def test_words_per_region(self):
+        assert SystemConfig().words_per_region == 8
+
+    def test_l2_capacity(self):
+        assert L2Config().capacity_bytes == 32 * 1024 * 1024
+
+    def test_amoeba_capacity(self):
+        assert CacheGeometry().amoeba_capacity == 256 * 288
+
+
+class TestValidation:
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(cores=0)
+
+    def test_too_many_cores_for_mesh(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(cores=17)
+
+    def test_block_must_match_region(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(block_bytes=32)
+
+    def test_non_word_region_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(region_bytes=62, block_bytes=62)
+
+    def test_bad_mesh(self):
+        with pytest.raises(ConfigError):
+            NetworkConfig(mesh_width=0)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(sets=0)
+
+
+class TestProtocolKind:
+    def test_adaptive_storage_flags(self):
+        assert not ProtocolKind.MESI.adaptive_storage
+        assert ProtocolKind.PROTOZOA_SW.adaptive_storage
+        assert ProtocolKind.PROTOZOA_MW.adaptive_storage
+
+    def test_short_names(self):
+        assert ProtocolKind.MESI.short_name == "MESI"
+        assert ProtocolKind.PROTOZOA_SW_MR.short_name == "SW+MR"
+
+
+class TestDerivedConfigs:
+    def test_with_protocol(self):
+        cfg = SystemConfig().with_protocol(ProtocolKind.PROTOZOA_MW)
+        assert cfg.protocol is ProtocolKind.PROTOZOA_MW
+        assert cfg.block_bytes == cfg.region_bytes
+
+    def test_with_block_bytes_tracks_region(self):
+        cfg = SystemConfig().with_block_bytes(16)
+        assert cfg.block_bytes == 16
+        assert cfg.region_bytes == 16
+        assert cfg.words_per_region == 2
+
+    def test_with_block_bytes_rejected_for_protozoa(self):
+        cfg = SystemConfig(protocol=ProtocolKind.PROTOZOA_SW)
+        with pytest.raises(ConfigError):
+            cfg.with_block_bytes(16)
+
+    @pytest.mark.parametrize("block,expected_sets", [(16, 768), (32, 460), (64, 256), (128, 135)])
+    def test_fixed_sets_capacity_matched(self, block, expected_sets):
+        geom = CacheGeometry()
+        assert geom.fixed_sets(block) == expected_sets
+
+    def test_fixed_sets_block_too_large(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(sets=1, set_bytes=16).fixed_sets(4096)
+
+
+class TestPredictorKind:
+    def test_three_kinds(self):
+        assert {p.value for p in PredictorKind} == {
+            "pc-history", "whole-region", "single-word",
+        }

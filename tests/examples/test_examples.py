@@ -1,0 +1,57 @@
+"""Smoke tests: every bundled example runs and prints its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "false_sharing_lab.py",
+            "spatial_locality_sweep.py", "protocol_walkthrough.py",
+            "trace_tools.py"} <= names
+
+
+def test_trace_tools():
+    out = run_example("trace_tools.py")
+    assert "falsely shared" in out
+    assert "MESI" in out and "MW" in out
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "MESI" in out and "MW" in out
+    assert "eliminates the misses" in out
+
+
+def test_false_sharing_lab():
+    out = run_example("false_sharing_lab.py")
+    assert "stride" in out
+    assert "MW is immune" in out
+
+
+def test_protocol_walkthrough():
+    out = run_example("protocol_walkthrough.py")
+    assert "Figure 4" in out and "Figure 7" in out
+    assert "ACK-S" in out
+    assert "WBACK" in out
+
+
+@pytest.mark.slow
+def test_spatial_locality_sweep():
+    out = run_example("spatial_locality_sweep.py")
+    assert "Protozoa-MW" in out
+    assert "MESI-128" in out

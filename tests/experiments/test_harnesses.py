@@ -1,0 +1,127 @@
+"""Tests for the experiment harnesses (figures/table regeneration)."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments import runner
+from repro.experiments import (
+    fig9_traffic,
+    fig10_control,
+    fig11_sharers,
+    fig12_blocksize,
+    fig13_mpki,
+    fig14_exectime,
+    fig15_energy,
+    table1,
+)
+
+SMALL = runner.ExperimentSettings(
+    cores=8, per_core=400,
+    workloads=("linear-regression", "matrix-multiply"),
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return runner.ResultMatrix(SMALL)
+
+
+class TestRunner:
+    def test_memoization(self, matrix):
+        a = matrix.run("linear-regression", ProtocolKind.MESI)
+        b = matrix.run("linear-regression", ProtocolKind.MESI)
+        assert a is b
+
+    def test_block_size_key_distinct(self, matrix):
+        a = matrix.run("linear-regression", ProtocolKind.MESI, block_bytes=16)
+        b = matrix.run("linear-regression", ProtocolKind.MESI, block_bytes=32)
+        assert a is not b
+        assert a.config.block_bytes == 16
+
+    def test_sweep_covers_matrix(self, matrix):
+        out = matrix.sweep()
+        assert len(out) == 2 * 4
+
+    def test_default_settings_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "123")
+        monkeypatch.setenv("REPRO_WORKLOADS", "apache, h2")
+        s = runner.default_settings()
+        assert s.per_core == 123
+        assert s.workloads == ("apache", "h2")
+
+    def test_workload_names_default_all(self):
+        assert len(runner.ExperimentSettings().workload_names()) == 28
+
+
+class TestTable1:
+    def test_rows_shape(self, matrix):
+        rows = table1.rows(matrix)
+        assert len(rows) == 2
+        assert len(rows[0]) == len(table1.HEADERS)
+
+    def test_trend_symbols(self):
+        assert table1.trend_symbol(100, 100) == "~"
+        assert table1.trend_symbol(100, 120) == "+"
+        assert table1.trend_symbol(100, 140) == "++"
+        assert table1.trend_symbol(100, 160) == "+++"
+        assert table1.trend_symbol(100, 80) == "-"
+        assert table1.trend_symbol(100, 50) == "--"
+        assert table1.trend_symbol(0, 0) == "~"
+        assert table1.trend_symbol(0, 5) == "+++"
+
+    def test_linreg_optimal_is_16(self, matrix):
+        metrics = table1.sweep_workload(matrix, "linear-regression")
+        assert table1.optimal_block(metrics) == 16
+
+    def test_render_contains_paper_columns(self, matrix):
+        text = table1.render(matrix)
+        assert "paper-opt" in text and "16" in text
+
+
+class TestFigureHarnesses:
+    def test_fig9_rows_normalized(self, matrix):
+        rows = fig9_traffic.rows(matrix)
+        mesi_rows = [r for r in rows if r[1] == "MESI"]
+        for row in mesi_rows:
+            assert row[-1] == pytest.approx(1.0)
+
+    def test_fig9_summary_mw_below_mesi(self, matrix):
+        means = fig9_traffic.summary(matrix)
+        assert means["MW"] < means["MESI"] == 1.0
+
+    def test_fig10_categories_sum_to_control(self, matrix):
+        rows = fig10_control.rows(matrix)
+        fig9 = {(r[0], r[1]): r[4] for r in fig9_traffic.rows(matrix)}
+        for row in rows:
+            total = sum(row[2:])
+            assert total == pytest.approx(fig9[(row[0], row[1])], abs=2e-3)
+
+    def test_fig11_fractions(self, matrix):
+        rows = fig11_sharers.rows(matrix)
+        for row in rows:
+            fracs = row[1:4]
+            assert sum(fracs) == pytest.approx(1.0, abs=1e-6) or sum(fracs) == 0
+
+    def test_fig12_buckets_sum_to_one(self, matrix):
+        for row in fig12_blocksize.rows(matrix):
+            assert sum(row[1:]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_fig13_linreg_mw_wins(self, matrix):
+        rows = {r[0]: r for r in fig13_mpki.rows(matrix)}
+        linreg = rows["linear-regression"]
+        assert linreg[4] < 0.2 * linreg[1]  # MW << MESI
+
+    def test_fig14_mesi_column_is_one(self, matrix):
+        for row in fig14_exectime.rows(matrix):
+            assert row[1] == pytest.approx(1.0)
+
+    def test_fig15_mw_reduces_flit_hops(self, matrix):
+        means = fig15_energy.summary(matrix)
+        assert means["MW"] < 1.0
+
+    def test_all_renders_are_text(self, matrix):
+        for mod in (fig9_traffic, fig10_control, fig11_sharers,
+                    fig12_blocksize, fig13_mpki, fig14_exectime,
+                    fig15_energy, table1):
+            text = mod.render(matrix)
+            assert isinstance(text, str) and len(text.splitlines()) >= 3

@@ -1,0 +1,40 @@
+"""Tests for the combined evaluation report."""
+
+import io
+
+from repro.experiments import runner
+from repro.experiments.report import SECTIONS, write_report
+
+
+def test_sections_cover_every_table_and_figure():
+    titles = " ".join(title for title, _ in SECTIONS)
+    assert "Table 1" in titles
+    for fig in range(9, 16):
+        assert f"Figure {fig}" in titles
+
+
+def test_write_report_small():
+    settings = runner.ExperimentSettings(
+        cores=4, per_core=150, workloads=("linear-regression", "kmeans"))
+    matrix = runner.ResultMatrix(settings)
+    buf = io.StringIO()
+    write_report(matrix, out=buf)
+    text = buf.getvalue()
+    assert "Protozoa reproduction" in text
+    assert "Table 1" in text and "Figure 15" in text
+    assert "linear-regression" in text
+    assert "geomean" in text
+    # Headline charts and the Section 3.6 metadata table are appended.
+    assert "Headlines (geomean vs MESI)" in text
+    assert "Directory metadata cost" in text
+    assert "#" in text  # bar chart glyphs
+
+
+def test_report_reuses_matrix_runs():
+    settings = runner.ExperimentSettings(
+        cores=4, per_core=100, workloads=("kmeans",))
+    matrix = runner.ResultMatrix(settings)
+    write_report(matrix, out=io.StringIO())
+    cached = len(matrix._cache)
+    write_report(matrix, out=io.StringIO())
+    assert len(matrix._cache) == cached  # second pass: all memoized

@@ -1,0 +1,51 @@
+"""Additional runner-matrix coverage."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments.runner import ALL_PROTOCOLS, ExperimentSettings, ResultMatrix
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return ResultMatrix(ExperimentSettings(cores=4, per_core=120,
+                                           workloads=("kmeans", "histogram")))
+
+
+class TestMatrix:
+    def test_all_protocols_ordering(self):
+        assert ALL_PROTOCOLS[0] is ProtocolKind.MESI
+        assert len(ALL_PROTOCOLS) == 4
+
+    def test_results_carry_workload_names(self, matrix):
+        result = matrix.run("kmeans", ProtocolKind.MESI)
+        assert result.name == "kmeans"
+
+    def test_runs_are_deterministic_across_matrices(self):
+        settings = ExperimentSettings(cores=4, per_core=150,
+                                      workloads=("histogram",))
+        a = ResultMatrix(settings).run("histogram", ProtocolKind.PROTOZOA_MW)
+        b = ResultMatrix(settings).run("histogram", ProtocolKind.PROTOZOA_MW)
+        assert a.stats.misses == b.stats.misses
+        assert a.traffic_bytes() == b.traffic_bytes()
+        assert a.flit_hops() == b.flit_hops()
+
+    def test_seed_changes_results(self):
+        base = ExperimentSettings(cores=4, per_core=150, workloads=("histogram",))
+        other = ExperimentSettings(cores=4, per_core=150, seed=9,
+                                   workloads=("histogram",))
+        a = ResultMatrix(base).run("histogram", ProtocolKind.MESI)
+        b = ResultMatrix(other).run("histogram", ProtocolKind.MESI)
+        assert a.traffic_bytes() != b.traffic_bytes()
+
+    def test_sweep_on_subset(self, matrix):
+        out = matrix.sweep(protocols=[ProtocolKind.MESI],
+                           workloads=["histogram"])
+        assert list(out) == [("histogram", ProtocolKind.MESI)]
+
+    def test_mesi_block_sizes_respected(self, matrix):
+        r16 = matrix.run("kmeans", ProtocolKind.MESI, block_bytes=16)
+        r128 = matrix.run("kmeans", ProtocolKind.MESI, block_bytes=128)
+        assert r16.config.words_per_region == 2
+        assert r128.config.words_per_region == 16
+        assert r16.stats.misses != r128.stats.misses

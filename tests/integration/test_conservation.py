@@ -1,0 +1,88 @@
+"""Cross-cutting accounting conservation properties.
+
+The byte totals the figures report must tie out against the raw message
+stream: every data word transmitted at the L1 boundary is classified used
+or unused exactly once, control bytes equal 8 per L1-visible message, and
+flit counts follow from message sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.coherence.messages import MsgType
+
+from tests.conftest import ALL_KINDS, make_engine
+
+
+class Recorder:
+    def __init__(self, protocol):
+        self.data_words_at_l1 = 0
+        self.control_msgs_at_l1 = 0
+        self.total_bytes = 0
+        protocol.trace_hook = self._hook
+
+    def _hook(self, mtype, src, dst, payload_words):
+        if mtype in (MsgType.MEM_READ, MsgType.MEM_DATA, MsgType.MEM_WRITE):
+            return
+        self.data_words_at_l1 += payload_words
+        self.control_msgs_at_l1 += 1
+        self.total_bytes += mtype.size_bytes(payload_words)
+
+
+def drive(p, seed, accesses=1200, regions=8, same_set=False):
+    rng = random.Random(seed)
+    stride = p.l1s[0].num_sets if same_set else 1
+    for _ in range(accesses):
+        core = rng.randrange(p.config.cores)
+        addr = rng.randrange(regions) * stride * 64 + rng.randrange(8) * 8
+        if rng.random() < 0.4:
+            p.write(core, addr)
+        else:
+            p.read(core, addr)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+@pytest.mark.parametrize("same_set", [False, True], ids=["hot", "churn"])
+def test_data_byte_conservation(kind, same_set):
+    """used + unused data bytes == 8 x (payload words at the L1 boundary)."""
+    p = make_engine(kind, cores=4)
+    rec = Recorder(p)
+    drive(p, seed=21, same_set=same_set)
+    p.flush()
+    t = p.stats.traffic
+    assert t.used_data + t.unused_data == 8 * rec.data_words_at_l1
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_control_byte_conservation(kind):
+    """Control bytes == 8 per L1-visible message (headers included)."""
+    p = make_engine(kind, cores=4)
+    rec = Recorder(p)
+    drive(p, seed=22)
+    p.flush()
+    assert p.stats.traffic.control_total == 8 * rec.control_msgs_at_l1
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_total_traffic_matches_message_stream(kind):
+    p = make_engine(kind, cores=4)
+    rec = Recorder(p)
+    drive(p, seed=23)
+    p.flush()
+    assert p.stats.traffic.total == rec.total_bytes
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_flits_lower_bounded_by_messages(kind):
+    p = make_engine(kind, cores=4)
+    drive(p, seed=24)
+    assert p.net.total_flits >= p.net.total_messages
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=[k.short_name for k in ALL_KINDS])
+def test_miss_plus_hit_equals_accesses(kind):
+    p = make_engine(kind, cores=4)
+    drive(p, seed=25)
+    s = p.stats
+    assert s.read_hits + s.write_hits + s.misses == s.accesses

@@ -1,0 +1,66 @@
+"""Integration: the paper's Figure 1 OpenMP counter example end-to-end."""
+
+import pytest
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.events import MemAccess
+
+ITEM_BASE = 0x8000
+ITERS = 300
+
+
+def worker(index):
+    addr = ITEM_BASE + index * 8
+    return ([MemAccess.read(addr, 8, 0x10, 2),
+             MemAccess.write(addr, 8, 0x14, 1)] * ITERS)
+
+
+def run(kind, threads=2):
+    config = SystemConfig(protocol=kind, cores=max(threads, 2))
+    return simulate([worker(i) for i in range(threads)], config, name="fig1")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {kind: run(kind) for kind in ProtocolKind}
+
+
+class TestFigure1:
+    def test_mesi_ping_pongs(self, results):
+        mesi = results[ProtocolKind.MESI]
+        # Nearly every increment round-trip misses.
+        assert mesi.stats.misses > ITERS
+
+    def test_sw_reduces_traffic_not_misses(self, results):
+        mesi = results[ProtocolKind.MESI]
+        sw = results[ProtocolKind.PROTOZOA_SW]
+        assert sw.traffic_bytes() < 0.6 * mesi.traffic_bytes()
+        assert sw.stats.misses > 0.8 * mesi.stats.misses  # ping-pong remains
+
+    def test_mw_eliminates_misses(self, results):
+        mesi = results[ProtocolKind.MESI]
+        mw = results[ProtocolKind.PROTOZOA_MW]
+        assert mw.stats.misses < 0.02 * mesi.stats.misses
+        assert mw.traffic_bytes() < 0.02 * mesi.traffic_bytes()
+
+    def test_mw_speeds_up_execution(self, results):
+        mesi = results[ProtocolKind.MESI]
+        mw = results[ProtocolKind.PROTOZOA_MW]
+        assert mw.exec_cycles() < 0.5 * mesi.exec_cycles()
+
+    def test_swmr_in_between(self, results):
+        sw = results[ProtocolKind.PROTOZOA_SW]
+        swmr = results[ProtocolKind.PROTOZOA_SW_MR]
+        mw = results[ProtocolKind.PROTOZOA_MW]
+        assert mw.stats.misses <= swmr.stats.misses <= sw.stats.misses
+
+    def test_sw_unused_data_eliminated(self, results):
+        sw = results[ProtocolKind.PROTOZOA_SW]
+        split = sw.traffic_split()
+        assert split["unused"] < 0.05 * (split["used"] + split["unused"] + 1)
+
+    def test_sixteen_threads(self):
+        mesi = run(ProtocolKind.MESI, threads=16)
+        mw = run(ProtocolKind.PROTOZOA_MW, threads=16)
+        assert mw.stats.misses < 0.05 * mesi.stats.misses

@@ -1,0 +1,139 @@
+"""The evaluation section's *textual* claims, as executable assertions.
+
+Each test quotes a sentence from Section 4 of the paper and asserts the
+corresponding (appropriately loosened) property of our runs.  Workload
+subsets and thresholds are chosen to be robust at test scale.
+"""
+
+import pytest
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.workloads import build_streams
+
+SCALE = 1500
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cache = {}
+
+    def get(workload, kind):
+        key = (workload, kind)
+        if key not in cache:
+            streams = build_streams(workload, cores=16, per_core=SCALE)
+            cache[key] = simulate(streams, SystemConfig(protocol=kind),
+                                  name=workload)
+        return cache[key]
+
+    return get
+
+
+class TestSection41Claims:
+    def test_unused_data_exceeds_control_in_mesi(self, runs):
+        """'Unused DATA accounts for a significant portion of the overall
+        traffic (34%), more than all control messages combined (22%).'"""
+        totals = unused = control = 0
+        for name in ("canneal", "linear-regression", "bodytrack", "apache"):
+            r = runs(name, ProtocolKind.MESI)
+            t = r.stats.traffic
+            totals += t.total
+            unused += t.unused_data
+            control += t.control_total
+        assert unused > control
+        assert unused / totals > 0.3
+
+    def test_sw_eliminates_most_unused_data(self, runs):
+        """'Protozoa-SW eliminates 81% of Unused DATA.'"""
+        for name in ("canneal", "bodytrack", "linear-regression"):
+            mesi = runs(name, ProtocolKind.MESI).stats.traffic.unused_data
+            sw = runs(name, ProtocolKind.PROTOZOA_SW).stats.traffic.unused_data
+            assert sw < 0.35 * mesi
+
+    def test_sw_beats_control_free_mesi(self, runs):
+        """'This improvement is more noticeable than even if all control
+        messages were eliminated from MESI' — i.e. incoherent fixed-
+        granularity systems have bounded scope."""
+        for name in ("canneal", "bodytrack"):
+            mesi = runs(name, ProtocolKind.MESI).stats.traffic
+            sw = runs(name, ProtocolKind.PROTOZOA_SW).stats.traffic
+            mesi_without_control = mesi.used_data + mesi.unused_data
+            assert sw.total < mesi_without_control
+
+    def test_sw_may_increase_misses_by_underfetching(self, runs):
+        """'Protozoa-SW ... may increase the # of misses by underfetching'
+        (h2, histogram)."""
+        increased = 0
+        for name in ("h2", "histogram"):
+            mesi = runs(name, ProtocolKind.MESI).stats.misses
+            sw = runs(name, ProtocolKind.PROTOZOA_SW).stats.misses
+            if sw > mesi:
+                increased += 1
+        assert increased >= 1
+
+    def test_mw_and_swmr_reduce_traffic_vs_sw_on_false_sharers(self, runs):
+        """'both Protozoa-MW and Protozoa-SW+MR reduce data transferred
+        compared to Protozoa-SW by eliminating secondary misses' (h2,
+        histogram, string-match)."""
+        for name in ("h2", "histogram", "string-match"):
+            sw = runs(name, ProtocolKind.PROTOZOA_SW)
+            mw = runs(name, ProtocolKind.PROTOZOA_MW)
+            sw_data = sw.stats.traffic.used_data + sw.stats.traffic.unused_data
+            mw_data = mw.stats.traffic.used_data + mw.stats.traffic.unused_data
+            assert mw_data < sw_data
+
+    def test_linreg_no_misses_once_warm(self, runs):
+        """'once the cache is warmed up and the disjoint fine-grain data
+        blocks are cached for read-write access, the application
+        experiences no further misses.'"""
+        mw = runs("linear-regression", ProtocolKind.PROTOZOA_MW)
+        # Warm-up misses only: a tiny fraction of total accesses.
+        assert mw.stats.misses < 0.02 * mw.stats.accesses
+
+    def test_string_match_multi_owner_dominates(self, runs):
+        """'for string-match, more than 90% of the lookups in the Owned
+        state find more than 1 owners.'"""
+        mw = runs("string-match", ProtocolKind.PROTOZOA_MW)
+        buckets = mw.dir_owned_buckets()
+        total = sum(buckets.values()) or 1
+        assert buckets[">1owner"] / total > 0.5
+
+    def test_embarrassingly_parallel_have_no_owned_sharing(self, runs):
+        """'Matrix-multiply and wordcount are embarrassingly parallel.'"""
+        for name in ("matrix-multiply", "word-count"):
+            mw = runs(name, ProtocolKind.PROTOZOA_MW)
+            buckets = mw.dir_owned_buckets()
+            total = sum(buckets.values()) or 1
+            assert buckets[">1owner"] / total < 0.02
+
+
+class TestSection42Claims:
+    def test_mw_speedup_on_histogram_and_streamcluster(self, runs):
+        """'Protozoa-MW and Protozoa-SW+MR reduce execution time relative
+        to MESI for histogram and streamclusters.'"""
+        for name in ("histogram", "streamcluster"):
+            mesi = runs(name, ProtocolKind.MESI).exec_cycles()
+            mw = runs(name, ProtocolKind.PROTOZOA_MW).exec_cycles()
+            assert mw < mesi
+
+    def test_linreg_dramatic_mw_speedup(self, runs):
+        """'the speedup for Protozoa-MW is dramatic at 2.2X.'"""
+        mesi = runs("linear-regression", ProtocolKind.MESI).exec_cycles()
+        mw = runs("linear-regression", ProtocolKind.PROTOZOA_MW).exec_cycles()
+        assert mesi / mw > 1.8
+
+    def test_mw_beats_swmr_on_linreg(self, runs):
+        """'Protozoa-MW is also able to reduce execution time by 36%
+        relative to Protozoa-SW+MR by allowing fine-grain write sharing.'"""
+        swmr = runs("linear-regression", ProtocolKind.PROTOZOA_SW_MR)
+        mw = runs("linear-regression", ProtocolKind.PROTOZOA_MW)
+        assert mw.exec_cycles() < 0.8 * swmr.exec_cycles()
+
+    def test_flit_hop_reduction_ordering(self, runs):
+        """'Protozoa-SW eliminates 33%, ... Protozoa-MW eliminates 49% of
+        the flit-hops' — MW saves more than SW."""
+        for name in ("linear-regression", "histogram", "string-match"):
+            sw = runs(name, ProtocolKind.PROTOZOA_SW).flit_hops()
+            mw = runs(name, ProtocolKind.PROTOZOA_MW).flit_hops()
+            mesi = runs(name, ProtocolKind.MESI).flit_hops()
+            assert mw < sw < mesi

@@ -1,0 +1,104 @@
+"""The paper's qualitative protocol orderings on representative workloads.
+
+These assert the evaluation's *shape*: who wins, and in which metric, per
+sharing profile — not absolute values.
+"""
+
+import pytest
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.workloads import build_streams
+
+SCALE = 1200
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cache = {}
+
+    def get(workload, kind):
+        key = (workload, kind)
+        if key not in cache:
+            streams = build_streams(workload, cores=16, per_core=SCALE)
+            cache[key] = simulate(streams, SystemConfig(protocol=kind),
+                                  name=workload)
+        return cache[key]
+
+    return get
+
+
+class TestFalseSharingWorkloads:
+    def test_linreg_mw_eliminates_misses(self, runs):
+        mesi = runs("linear-regression", ProtocolKind.MESI)
+        mw = runs("linear-regression", ProtocolKind.PROTOZOA_MW)
+        assert mw.mpki() < 0.1 * mesi.mpki()  # paper: -99%
+
+    def test_linreg_mw_speedup(self, runs):
+        mesi = runs("linear-regression", ProtocolKind.MESI)
+        mw = runs("linear-regression", ProtocolKind.PROTOZOA_MW)
+        assert mw.exec_cycles() < 0.75 * mesi.exec_cycles()  # paper: 2.2x
+
+    def test_linreg_sw_does_not_fix_false_sharing(self, runs):
+        mesi = runs("linear-regression", ProtocolKind.MESI)
+        sw = runs("linear-regression", ProtocolKind.PROTOZOA_SW)
+        assert sw.mpki() > 0.8 * mesi.mpki()
+
+    def test_histogram_ordering(self, runs):
+        mesi = runs("histogram", ProtocolKind.MESI)
+        sw = runs("histogram", ProtocolKind.PROTOZOA_SW)
+        mw = runs("histogram", ProtocolKind.PROTOZOA_MW)
+        assert mw.mpki() < mesi.mpki()
+        assert mw.traffic_bytes() < sw.traffic_bytes() < mesi.traffic_bytes()
+
+    def test_string_match_multi_owner(self, runs):
+        mw = runs("string-match", ProtocolKind.PROTOZOA_MW)
+        buckets = mw.dir_owned_buckets()
+        assert buckets[">1owner"] > 0  # paper: extreme fine-grain sharing
+
+
+class TestSpatialLocalityWorkloads:
+    def test_matmul_all_protocols_equal(self, runs):
+        vals = [runs("matrix-multiply", k).traffic_bytes() for k in ProtocolKind]
+        spread = (max(vals) - min(vals)) / max(vals)
+        assert spread < 0.05
+
+    def test_matmul_high_used_fraction(self, runs):
+        assert runs("matrix-multiply", ProtocolKind.MESI).used_fraction() > 0.9
+
+    def test_canneal_sw_halves_traffic(self, runs):
+        mesi = runs("canneal", ProtocolKind.MESI)
+        sw = runs("canneal", ProtocolKind.PROTOZOA_SW)
+        assert sw.traffic_bytes() < 0.7 * mesi.traffic_bytes()
+        assert mesi.used_fraction() < 0.3  # poor locality under fixed blocks
+
+    def test_canneal_blocks_mostly_narrow(self, runs):
+        mw = runs("canneal", ProtocolKind.PROTOZOA_MW)
+        buckets = mw.block_size_buckets()
+        assert buckets["1-2"] > 0.4
+
+    def test_matmul_blocks_mostly_full(self, runs):
+        mw = runs("matrix-multiply", ProtocolKind.PROTOZOA_MW)
+        assert mw.block_size_buckets()["7-8"] > 0.6
+
+
+class TestTrafficOrdering:
+    @pytest.mark.parametrize("workload", ["linear-regression", "histogram",
+                                          "string-match"])
+    def test_mw_beats_mesi_on_false_sharers(self, runs, workload):
+        mesi = runs(workload, ProtocolKind.MESI)
+        mw = runs(workload, ProtocolKind.PROTOZOA_MW)
+        assert mw.traffic_bytes() < mesi.traffic_bytes()
+        assert mw.flit_hops() < mesi.flit_hops()
+
+    @pytest.mark.parametrize("workload", ["canneal", "bodytrack", "kmeans"])
+    def test_sw_beats_mesi_on_sparse_apps(self, runs, workload):
+        mesi = runs(workload, ProtocolKind.MESI)
+        sw = runs(workload, ProtocolKind.PROTOZOA_SW)
+        assert sw.traffic_bytes() < mesi.traffic_bytes()
+
+    def test_used_fraction_improves_under_protozoa(self, runs):
+        for workload in ("canneal", "histogram", "bodytrack"):
+            mesi = runs(workload, ProtocolKind.MESI)
+            sw = runs(workload, ProtocolKind.PROTOZOA_SW)
+            assert sw.used_fraction() > mesi.used_fraction()

@@ -1,0 +1,175 @@
+"""Tests for the variable-granularity Amoeba cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SimulationError
+from repro.common.wordrange import WordRange
+from repro.memory.amoeba_cache import AmoebaCache
+from repro.memory.block import Block, LineState
+
+
+def block(region, start, end, state=LineState.S):
+    rng = WordRange(start, end)
+    return Block(region, rng, state, [0] * rng.width)
+
+
+def cache(sets=4, set_bytes=288):
+    return AmoebaCache(sets=sets, set_bytes=set_bytes, tag_bytes=8)
+
+
+def no_evict(victim):
+    raise AssertionError(f"unexpected eviction of {victim!r}")
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        c = cache()
+        b = block(0, 2, 5)
+        c.insert(b, no_evict)
+        assert c.lookup(0, 3) is b
+        assert c.lookup(0, 6) is None
+        assert c.lookup(4, 3) is None  # different region, same set
+
+    def test_set_budget_too_small_rejected(self):
+        with pytest.raises(SimulationError):
+            AmoebaCache(sets=4, set_bytes=8, tag_bytes=8)
+
+    def test_blocks_of_region(self):
+        c = cache()
+        a, b = block(0, 0, 1), block(0, 4, 7)
+        c.insert(a, no_evict)
+        c.insert(b, no_evict)
+        assert set(map(id, c.blocks_of(0))) == {id(a), id(b)}
+
+    def test_same_set_regions_are_isolated(self):
+        c = cache(sets=4)
+        c.insert(block(1, 0, 3), no_evict)
+        c.insert(block(5, 0, 3), no_evict)  # 5 % 4 == 1: same set
+        assert len(c.blocks_of(1)) == 1
+        assert len(c.blocks_of(5)) == 1
+
+    def test_overlap_insert_rejected(self):
+        c = cache()
+        c.insert(block(0, 2, 5), no_evict)
+        with pytest.raises(SimulationError):
+            c.insert(block(0, 5, 7), no_evict)
+
+    def test_adjacent_blocks_allowed(self):
+        c = cache()
+        c.insert(block(0, 0, 3), no_evict)
+        c.insert(block(0, 4, 7), no_evict)
+        assert len(c.blocks_of(0)) == 2
+
+    def test_remove_nonresident_raises(self):
+        c = cache()
+        with pytest.raises(SimulationError):
+            c.remove(block(0, 0, 1))
+
+
+class TestOverlapQueries:
+    def test_overlapping(self):
+        c = cache()
+        a = block(0, 0, 2)
+        b = block(0, 5, 7)
+        c.insert(a, no_evict)
+        c.insert(b, no_evict)
+        hits = c.overlapping(0, WordRange(2, 5))
+        assert set(map(id, hits)) == {id(a), id(b)}
+        assert c.overlapping(0, WordRange(3, 4)) == []
+
+    def test_covered_mask(self):
+        c = cache()
+        c.insert(block(0, 0, 1), no_evict)
+        c.insert(block(0, 6, 7), no_evict)
+        assert c.covered_mask(0, WordRange(0, 7)) == 0b11000011
+        assert c.covered_mask(0, WordRange(1, 6)) == 0b01000010
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        # One set; 288B budget holds 4 full-region blocks (72B each).
+        c = cache(sets=1)
+        blocks = [block(r, 0, 7) for r in range(4)]
+        for b in blocks:
+            c.insert(b, no_evict)
+        c.lookup(0, 0)  # refresh region 0: region 1 becomes LRU
+        victims = []
+        c.insert(block(4, 0, 7), victims.append)
+        assert [v.region for v in victims] == [1]
+
+    def test_evicts_until_fits(self):
+        c = cache(sets=1, set_bytes=72)  # fits one full block or 4 one-word
+        for w in range(4):
+            c.insert(block(0, w, w), no_evict)
+        victims = []
+        c.insert(block(1, 0, 7), victims.append)
+        assert len(victims) == 4
+        assert len(c) == 1
+
+    def test_occupancy_tracks_bytes(self):
+        c = cache(sets=1)
+        c.insert(block(0, 0, 0), no_evict)  # 16B
+        c.insert(block(0, 4, 6), no_evict)  # 32B
+        assert c.occupancy(0) == 48
+        c.remove(c.lookup(0, 0))
+        assert c.occupancy(0) == 32
+
+    def test_utilization(self):
+        c = cache(sets=1, set_bytes=288)
+        assert c.utilization() == 0.0
+        c.insert(block(0, 0, 7), no_evict)
+        assert c.utilization() == pytest.approx(72 / 288)
+
+
+class TestLRUBookkeeping:
+    def test_peek_does_not_refresh(self):
+        c = cache(sets=1, set_bytes=144)
+        a = block(0, 0, 7)
+        b = block(1, 0, 7)
+        c.insert(a, no_evict)
+        c.insert(b, no_evict)
+        c.peek(0, 0)  # must NOT refresh region 0
+        victims = []
+        c.insert(block(2, 0, 7), victims.append)
+        assert victims[0] is a
+
+
+class TestIntegrity:
+    def test_check_integrity_clean(self):
+        c = cache()
+        c.insert(block(0, 0, 3), no_evict)
+        c.insert(block(0, 4, 7), no_evict)
+        c.check_integrity()
+
+    def test_check_integrity_detects_drift(self):
+        c = cache()
+        c.insert(block(0, 0, 3), no_evict)
+        c._occupancy[0] += 1
+        with pytest.raises(SimulationError):
+            c.check_integrity()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 7),  # region
+            st.integers(0, 7),  # start
+            st.integers(1, 8),  # width
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_random_insert_remove_maintains_invariants(ops):
+    """Property: arbitrary insert sequences keep budget/overlap invariants."""
+    c = AmoebaCache(sets=2, set_bytes=144, tag_bytes=8)
+    for region, start, width in ops:
+        end = min(start + width - 1, 7)
+        rng = WordRange(start, end)
+        for old in c.overlapping(region, rng):
+            c.remove(old)  # caller contract: clear overlaps first
+        c.insert(Block(region, rng, LineState.S, [0] * rng.width), lambda v: None)
+        c.check_integrity()
+    assert c.utilization() <= 1.0

@@ -1,0 +1,85 @@
+"""Tests for the shared L2 region store and memory model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.wordrange import WordRange
+from repro.memory.backing import L2Store
+
+
+class TestPresence:
+    def test_first_touch_is_cold_miss(self):
+        l2 = L2Store(8)
+        assert not l2.present(3)
+        assert l2.ensure_present(3) is True
+        assert l2.present(3)
+        assert l2.ensure_present(3) is False
+        assert l2.cold_misses == 1
+
+    def test_initial_contents_zero(self):
+        l2 = L2Store(8)
+        l2.ensure_present(0)
+        assert l2.read(0, WordRange(0, 7)) == [0] * 8
+
+
+class TestData:
+    def test_patch_and_read_back(self):
+        l2 = L2Store(8)
+        l2.ensure_present(1)
+        l2.patch(1, WordRange(2, 4), [20, 30, 40])
+        assert l2.read(1, WordRange(2, 4)) == [20, 30, 40]
+        assert l2.read(1, WordRange(0, 7)) == [0, 0, 20, 30, 40, 0, 0, 0]
+        assert l2.is_dirty(1)
+
+    def test_patch_size_mismatch(self):
+        l2 = L2Store(8)
+        l2.ensure_present(1)
+        with pytest.raises(SimulationError):
+            l2.patch(1, WordRange(2, 4), [1, 2])
+
+
+class TestCapacity:
+    def test_lru_recall_on_overflow(self):
+        recalled = []
+        l2 = L2Store(8, capacity_regions=2)
+        l2.recall_hook = recalled.append
+        l2.ensure_present(0)
+        l2.ensure_present(1)
+        l2.ensure_present(2)
+        assert recalled == [0]
+        assert not l2.present(0)
+        assert l2.capacity_recalls == 1
+
+    def test_recency_updated_by_read(self):
+        l2 = L2Store(8, capacity_regions=2)
+        recalled = []
+        l2.recall_hook = recalled.append
+        l2.ensure_present(0)
+        l2.ensure_present(1)
+        l2.read(0, WordRange(0, 0))  # refresh region 0
+        l2.ensure_present(2)
+        assert recalled == [1]
+
+    def test_in_flight_region_never_recalled(self):
+        l2 = L2Store(8, capacity_regions=1)
+        l2.ensure_present(0)
+        l2.ensure_present(1)  # recalls 0, keeps 1
+        assert l2.present(1)
+        assert not l2.present(0)
+
+    def test_dirty_recall_counts_memory_writeback(self):
+        l2 = L2Store(8, capacity_regions=1)
+        l2.ensure_present(0)
+        l2.patch(0, WordRange(0, 0), [9])
+        l2.ensure_present(1)
+        assert l2.memory_writebacks == 1
+
+    def test_evict_absent_raises(self):
+        with pytest.raises(SimulationError):
+            L2Store(8).evict(3)
+
+    def test_len_tracks_regions(self):
+        l2 = L2Store(8)
+        l2.ensure_present(0)
+        l2.ensure_present(1)
+        assert len(l2) == 2

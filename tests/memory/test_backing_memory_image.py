@@ -1,0 +1,34 @@
+"""Main memory must retain dirty data across L2 capacity recalls."""
+
+from repro.common.wordrange import WordRange
+from repro.memory.backing import L2Store
+
+
+def test_dirty_data_survives_recall_and_refetch():
+    l2 = L2Store(8, capacity_regions=1)
+    l2.ensure_present(0)
+    l2.patch(0, WordRange(2, 3), [22, 33])
+    l2.ensure_present(1)  # recalls region 0 to memory
+    assert not l2.present(0)
+    l2.ensure_present(0)  # refetch from memory
+    assert l2.read(0, WordRange(2, 3)) == [22, 33]
+    assert l2.read(0, WordRange(0, 1)) == [0, 0]
+
+
+def test_clean_recall_needs_no_memory_image():
+    l2 = L2Store(8, capacity_regions=1)
+    l2.ensure_present(0)
+    l2.ensure_present(1)
+    assert l2.memory_writebacks == 0
+    l2.ensure_present(0)
+    assert l2.read(0, WordRange(0, 7)) == [0] * 8
+
+
+def test_repeated_recalls_keep_latest_image():
+    l2 = L2Store(8, capacity_regions=1)
+    for value in (1, 2, 3):
+        l2.ensure_present(0)
+        l2.patch(0, WordRange(0, 0), [value])
+        l2.ensure_present(1)  # recall region 0
+    l2.ensure_present(0)
+    assert l2.read(0, WordRange(0, 0)) == [3]

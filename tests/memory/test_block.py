@@ -1,0 +1,80 @@
+"""Tests for the Amoeba-Block 4-tuple and its bookkeeping."""
+
+import pytest
+
+from repro.common.wordrange import WordRange
+from repro.memory.block import Block, LineState
+
+
+def make(rng=WordRange(2, 5), state=LineState.S):
+    return Block(7, rng, state, [0] * rng.width, miss_pc=0x42, miss_word=rng.start)
+
+
+class TestConstruction:
+    def test_data_length_must_match(self):
+        with pytest.raises(ValueError):
+            Block(0, WordRange(0, 3), LineState.S, [0, 0])
+
+    def test_initial_masks(self):
+        b = make()
+        assert b.fetched_mask == WordRange(2, 5).to_mask()
+        assert b.touched_mask == 0
+        assert b.dirty_mask == 0
+        assert not b.dirty
+
+    def test_repr_mentions_state(self):
+        assert "S/c" in repr(make())
+
+
+class TestDataAccess:
+    def test_value_indexing_is_absolute(self):
+        b = make()
+        b.data[0] = 11  # word 2
+        b.data[3] = 44  # word 5
+        assert b.value(2) == 11
+        assert b.value(5) == 44
+
+    def test_write_sets_dirty_and_touched(self):
+        b = make()
+        b.write(3, 99)
+        assert b.value(3) == 99
+        assert b.dirty
+        assert b.dirty_mask == 1 << 3
+        assert b.touched_mask == 1 << 3
+
+    def test_touch_clips_to_block_range(self):
+        b = make()
+        b.touch(WordRange(0, 7))
+        assert b.touched_mask == WordRange(2, 5).to_mask()
+
+    def test_values_in_intersection(self):
+        b = make()
+        for w in range(2, 6):
+            b.write(w, w * 10)
+        assert b.values_in(WordRange(3, 4)) == [30, 40]
+        assert b.values_in(WordRange(0, 2)) == [20]
+        assert b.values_in(WordRange(6, 7)) == []
+
+
+class TestStates:
+    def test_readable(self):
+        for s in (LineState.M, LineState.E, LineState.S):
+            assert s.readable
+        assert not LineState.I.readable
+
+    def test_writable(self):
+        assert LineState.M.writable and LineState.E.writable
+        assert not LineState.S.writable and not LineState.I.writable
+
+
+class TestFootprint:
+    def test_footprint_includes_tag(self):
+        b = make(WordRange(0, 0))
+        assert b.footprint_bytes(tag_bytes=8) == 16
+
+    def test_full_region_footprint(self):
+        b = make(WordRange(0, 7))
+        assert b.footprint_bytes(tag_bytes=8) == 72
+
+    def test_size_words(self):
+        assert make(WordRange(1, 4)).size_words == 4

@@ -1,0 +1,91 @@
+"""Tests for the fixed-granularity (MESI baseline) cache."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.wordrange import WordRange
+from repro.memory.block import Block, LineState
+from repro.memory.fixed_cache import FixedCache
+
+
+def block(region, state=LineState.S):
+    rng = WordRange(0, 7)
+    return Block(region, rng, state, [0] * 8)
+
+
+def no_evict(victim):
+    raise AssertionError("unexpected eviction")
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        c = FixedCache(sets=4, ways=2)
+        b = block(3)
+        c.insert(b, no_evict)
+        assert c.lookup(3, 5) is b
+        assert c.lookup(7, 0) is None
+
+    def test_geometry_validation(self):
+        with pytest.raises(SimulationError):
+            FixedCache(sets=0, ways=2)
+
+    def test_duplicate_region_rejected(self):
+        c = FixedCache(sets=4, ways=2)
+        c.insert(block(0), no_evict)
+        with pytest.raises(SimulationError):
+            c.insert(block(0), no_evict)
+
+    def test_remove(self):
+        c = FixedCache(sets=4, ways=2)
+        b = block(0)
+        c.insert(b, no_evict)
+        c.remove(b)
+        assert c.lookup(0, 0) is None
+        with pytest.raises(SimulationError):
+            c.remove(b)
+
+
+class TestAssociativity:
+    def test_ways_bound(self):
+        c = FixedCache(sets=2, ways=2)
+        c.insert(block(0), no_evict)
+        c.insert(block(2), no_evict)  # same set (0)
+        victims = []
+        c.insert(block(4), victims.append)
+        assert [v.region for v in victims] == [0]
+        assert len(c.blocks_of(2)) == 1
+
+    def test_lru_respects_lookups(self):
+        c = FixedCache(sets=1, ways=2)
+        c.insert(block(0), no_evict)
+        c.insert(block(1), no_evict)
+        c.lookup(0, 0)
+        victims = []
+        c.insert(block(2), victims.append)
+        assert victims[0].region == 1
+
+    def test_different_sets_do_not_interfere(self):
+        c = FixedCache(sets=2, ways=1)
+        c.insert(block(0), no_evict)
+        c.insert(block(1), no_evict)  # set 1
+        assert len(c) == 2
+
+
+class TestQueries:
+    def test_covered_mask_full_or_none(self):
+        c = FixedCache(sets=2, ways=1)
+        c.insert(block(0), no_evict)
+        assert c.covered_mask(0, WordRange(2, 4)) == WordRange(2, 4).to_mask()
+        assert c.covered_mask(1, WordRange(2, 4)) == 0
+
+    def test_overlapping(self):
+        c = FixedCache(sets=2, ways=1)
+        b = block(0)
+        c.insert(b, no_evict)
+        assert c.overlapping(0, WordRange(3, 3)) == [b]
+
+    def test_integrity(self):
+        c = FixedCache(sets=2, ways=2)
+        c.insert(block(0), no_evict)
+        c.insert(block(1), no_evict)
+        c.check_integrity()

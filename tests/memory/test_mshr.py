@@ -1,0 +1,50 @@
+"""Tests for the region-granularity MSHR file."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_release_cycle(self):
+        m = MSHRFile()
+        m.allocate(5)
+        assert m.is_busy(5)
+        m.release(5)
+        assert not m.is_busy(5)
+        assert m.allocations == 1
+
+    def test_reentry_rejected(self):
+        m = MSHRFile()
+        m.allocate(5)
+        with pytest.raises(ProtocolError):
+            m.allocate(5)
+
+    def test_release_idle_rejected(self):
+        with pytest.raises(ProtocolError):
+            MSHRFile().release(5)
+
+    def test_exhaustion(self):
+        m = MSHRFile(entries=2)
+        m.allocate(0)
+        m.allocate(1)
+        with pytest.raises(ProtocolError):
+            m.allocate(2)
+
+
+class TestBlockingStats:
+    def test_single_block_not_counted(self):
+        m = MSHRFile()
+        m.note_multi_block(from_cpu=True, blocks=1)
+        m.note_multi_block(from_cpu=False, blocks=0)
+        assert m.cpu_blocking_events == 0
+        assert m.coh_blocking_events == 0
+
+    def test_multi_block_buckets(self):
+        m = MSHRFile()
+        m.note_multi_block(from_cpu=True, blocks=3)
+        m.note_multi_block(from_cpu=False, blocks=2)
+        m.note_multi_block(from_cpu=False, blocks=4)
+        assert m.cpu_blocking_events == 1
+        assert m.coh_blocking_events == 2

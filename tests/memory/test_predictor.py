@@ -1,0 +1,128 @@
+"""Tests for the spatial-granularity predictors."""
+
+from repro.common.params import PredictorKind
+from repro.common.wordrange import WordRange
+from repro.memory.predictor import (
+    PCHistoryPredictor,
+    SingleWordPredictor,
+    WholeRegionPredictor,
+    make_predictor,
+)
+
+WPR = 8
+
+
+class TestDegenerates:
+    def test_whole_region_always_full(self):
+        p = WholeRegionPredictor()
+        assert p.predict(0x10, 0, WordRange(3, 3), False, WPR) == WordRange(0, 7)
+
+    def test_single_word_returns_request(self):
+        p = SingleWordPredictor()
+        assert p.predict(0x10, 0, WordRange(3, 4), True, WPR) == WordRange(3, 4)
+
+    def test_train_is_noop(self):
+        SingleWordPredictor().train(0x10, 3, 0b1000, 0b1111, WPR)
+
+
+class TestPCHistory:
+    def test_cold_miss_defaults_to_full_region(self):
+        p = PCHistoryPredictor()
+        assert p.predict(0x10, 0, WordRange(2, 2), False, WPR) == WordRange(0, 7)
+        assert p.cold == 1
+
+    def test_learns_single_word_pattern(self):
+        p = PCHistoryPredictor()
+        # A block allocated by pc=0x10 at word 3 died having touched only word 3.
+        p.train(0x10, 3, touched_mask=0b1000, fetched_mask=0xFF, words_per_region=WPR)
+        assert p.predict(0x10, 0, WordRange(5, 5), False, WPR) == WordRange(5, 5)
+        assert p.hits == 1
+
+    def test_pattern_is_relative_to_miss_word(self):
+        p = PCHistoryPredictor()
+        # Touched miss word + next word (offsets 0 and +1).
+        p.train(0x10, 2, touched_mask=0b1100, fetched_mask=0xFF, words_per_region=WPR)
+        assert p.predict(0x10, 0, WordRange(4, 4), False, WPR) == WordRange(4, 5)
+
+    def test_prediction_clamped_to_region(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 2, touched_mask=0b1100, fetched_mask=0xFF, words_per_region=WPR)
+        assert p.predict(0x10, 0, WordRange(7, 7), False, WPR) == WordRange(7, 7)
+
+    def test_learns_full_region_streaming(self):
+        p = PCHistoryPredictor()
+        p.train(0x20, 0, touched_mask=0xFF, fetched_mask=0xFF, words_per_region=WPR)
+        assert p.predict(0x20, 0, WordRange(0, 0), False, WPR) == WordRange(0, 7)
+
+    def test_distinct_pcs_learn_independently(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 0, touched_mask=0b1, fetched_mask=0xFF, words_per_region=WPR)
+        p.train(0x11, 0, touched_mask=0xFF, fetched_mask=0xFF, words_per_region=WPR)
+        narrow = p.predict(0x10, 0, WordRange(0, 0), False, WPR)
+        wide = p.predict(0x11, 0, WordRange(0, 0), False, WPR)
+        assert narrow == WordRange(0, 0)
+        assert wide == WordRange(0, 7)
+
+    def test_confidence_resists_one_anomaly(self):
+        p = PCHistoryPredictor()
+        for _ in range(3):
+            p.train(0x10, 0, touched_mask=0b1, fetched_mask=0xFF, words_per_region=WPR)
+        # One anomalous wide observation blends (widens) but a following
+        # narrow observation must not be wiped out either.
+        p.train(0x10, 0, touched_mask=0xFF, fetched_mask=0xFF, words_per_region=WPR)
+        got = p.predict(0x10, 0, WordRange(0, 0), False, WPR)
+        assert got.contains(0)
+
+    def test_untouched_death_trains_miss_word(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 4, touched_mask=0, fetched_mask=0xFF, words_per_region=WPR)
+        assert p.predict(0x10, 0, WordRange(4, 4), False, WPR) == WordRange(4, 4)
+
+    def test_prediction_always_covers_request_word(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 0, touched_mask=0b1, fetched_mask=0xFF, words_per_region=WPR)
+        for word in range(WPR):
+            got = p.predict(0x10, 0, WordRange(word, word), False, WPR)
+            assert got.contains(word)
+
+
+class TestInvalidationTraining:
+    """Invalidation deaths are truncated observations: union, don't replace."""
+
+    def test_invalidation_widens_pattern(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 0, 0b1, 0xFF, WPR)  # eviction: 1 word
+        p.train(0x10, 0, 0b111, 0xFF, WPR, invalidated=True)
+        assert p.predict(0x10, 0, WordRange(0, 0), False, WPR) == WordRange(0, 2)
+
+    def test_invalidation_never_narrows(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 0, 0b111, 0xFF, WPR)  # eviction: 3 words
+        for _ in range(5):
+            p.train(0x10, 0, 0b1, 0xFF, WPR, invalidated=True)  # truncated
+        assert p.predict(0x10, 0, WordRange(0, 0), False, WPR) == WordRange(0, 2)
+
+    def test_eviction_can_reset_after_widening(self):
+        p = PCHistoryPredictor()
+        p.train(0x10, 0, 0b1, 0xFF, WPR)
+        p.train(0x10, 0, 0b1111, 0xFF, WPR, invalidated=True)
+        # Repeated complete observations of the narrow pattern win back.
+        for _ in range(4):
+            p.train(0x10, 0, 0b1, 0xFF, WPR)
+        assert p.predict(0x10, 0, WordRange(0, 0), False, WPR) == WordRange(0, 0)
+
+    def test_pure_invalidation_site_stays_narrow(self):
+        # A falsely-shared counter only ever dies by invalidation with its
+        # own word touched: the prediction must stay one word (this is what
+        # lets Protozoa-MW eliminate the false sharing).
+        p = PCHistoryPredictor()
+        for _ in range(10):
+            p.train(0x20, 3, 0b1000, 0xFF, WPR, invalidated=True)
+        assert p.predict(0x20, 0, WordRange(5, 5), True, WPR) == WordRange(5, 5)
+
+
+class TestFactory:
+    def test_factory_kinds(self):
+        assert isinstance(make_predictor(PredictorKind.PC_HISTORY), PCHistoryPredictor)
+        assert isinstance(make_predictor(PredictorKind.WHOLE_REGION), WholeRegionPredictor)
+        assert isinstance(make_predictor(PredictorKind.SINGLE_WORD), SingleWordPredictor)

@@ -1,0 +1,55 @@
+"""Predictor table-aliasing and stress behaviour."""
+
+from repro.common.wordrange import WordRange
+from repro.memory.predictor import PCHistoryPredictor
+
+WPR = 8
+
+
+class TestAliasing:
+    def test_distinct_pcs_may_alias_but_never_crash(self):
+        p = PCHistoryPredictor(table_size=2)
+        for pc in range(64):
+            p.train(pc, pc % WPR, 1 << (pc % WPR), 0xFF, WPR)
+        for pc in range(64):
+            got = p.predict(pc, 0, WordRange(3, 3), False, WPR)
+            assert got.contains(3)
+            assert 0 <= got.start <= got.end < WPR
+
+    def test_table_bounded(self):
+        p = PCHistoryPredictor(table_size=16)
+        for pc in range(1000):
+            p.train(pc, 0, 0b1, 0xFF, WPR)
+        assert len(p._table) <= 16
+
+    def test_hit_and_cold_counters(self):
+        p = PCHistoryPredictor()
+        p.predict(0x1, 0, WordRange(0, 0), False, WPR)
+        p.train(0x1, 0, 0b1, 0xFF, WPR)
+        p.predict(0x1, 0, WordRange(0, 0), False, WPR)
+        assert p.cold == 1
+        assert p.hits == 1
+
+
+class TestRegionSizes:
+    def test_predictions_respect_small_regions(self):
+        p = PCHistoryPredictor()
+        p.train(0x9, 0, 0b11, 0b11, 2)  # 16-byte regions: 2 words
+        got = p.predict(0x9, 0, WordRange(1, 1), False, 2)
+        assert got.end <= 1
+
+    def test_wide_region_support(self):
+        p = PCHistoryPredictor()
+        p.train(0x9, 0, (1 << 16) - 1, (1 << 16) - 1, 16)  # 128-byte regions
+        got = p.predict(0x9, 0, WordRange(0, 0), False, 16)
+        assert got == WordRange(0, 15)
+
+
+class TestWritesVsReads:
+    def test_prediction_is_access_kind_agnostic(self):
+        # The table is PC-indexed; reads and writes from one site share it.
+        p = PCHistoryPredictor()
+        p.train(0x5, 2, 0b1100, 0xFF, WPR)
+        read = p.predict(0x5, 0, WordRange(2, 2), False, WPR)
+        write = p.predict(0x5, 0, WordRange(2, 2), True, WPR)
+        assert read == write

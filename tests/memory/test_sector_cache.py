@@ -1,0 +1,120 @@
+"""Tests for the decoupled sector-cache substrate."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.params import L1Organization, ProtocolKind, SystemConfig
+from repro.common.wordrange import WordRange
+from repro.memory.block import Block, LineState
+from repro.memory.sector_cache import SectorCache
+
+
+def block(region, start, end, state=LineState.S):
+    rng = WordRange(start, end)
+    return Block(region, rng, state, [0] * rng.width)
+
+
+def no_evict(victim):
+    raise AssertionError("unexpected eviction")
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        c = SectorCache(sets=4, ways=2)
+        b = block(0, 2, 5)
+        c.insert(b, no_evict)
+        assert c.lookup(0, 3) is b
+        assert c.lookup(0, 6) is None
+
+    def test_geometry_validated(self):
+        with pytest.raises(SimulationError):
+            SectorCache(sets=0, ways=2)
+
+    def test_sectors_of_one_region_share_a_tag(self):
+        c = SectorCache(sets=1, ways=1)
+        c.insert(block(0, 0, 1), no_evict)
+        c.insert(block(0, 6, 7), no_evict)  # same frame: no eviction
+        assert len(c.blocks_of(0)) == 2
+        assert c.covered_mask(0, WordRange(0, 7)) == 0b11000011
+
+    def test_overlap_within_frame_rejected(self):
+        c = SectorCache(sets=4, ways=2)
+        c.insert(block(0, 2, 5), no_evict)
+        with pytest.raises(SimulationError):
+            c.insert(block(0, 4, 6), no_evict)
+
+    def test_remove_frees_empty_frame(self):
+        c = SectorCache(sets=1, ways=1)
+        b = block(0, 0, 3)
+        c.insert(b, no_evict)
+        c.remove(b)
+        # The tag is free again: a different region allocates with no victim.
+        c.insert(block(1, 0, 0), no_evict)
+        assert len(c) == 1
+
+    def test_remove_nonresident_raises(self):
+        with pytest.raises(SimulationError):
+            SectorCache(sets=2, ways=1).remove(block(0, 0, 0))
+
+
+class TestFrameEviction:
+    def test_tag_conflict_evicts_whole_frame(self):
+        c = SectorCache(sets=1, ways=1)
+        c.insert(block(0, 0, 1), no_evict)
+        c.insert(block(0, 5, 7), no_evict)
+        victims = []
+        c.insert(block(1, 0, 0), victims.append)
+        assert sorted(v.range.start for v in victims) == [0, 5]
+        assert c.blocks_of(0) == []
+
+    def test_lru_frame_chosen(self):
+        c = SectorCache(sets=1, ways=2)
+        c.insert(block(0, 0, 0), no_evict)
+        c.insert(block(1, 0, 0), no_evict)
+        c.lookup(0, 0)  # refresh region 0
+        victims = []
+        c.insert(block(2, 0, 0), victims.append)
+        assert victims[0].region == 1
+
+    def test_ways_bound_respected(self):
+        c = SectorCache(sets=2, ways=2)
+        for region in (0, 2, 4):  # all set 0
+            c.insert(block(region, 0, 0), lambda v: None)
+        c.check_integrity()
+        assert len(c._sets[0]) == 2
+
+
+class TestEngineIntegration:
+    def make(self, kind=ProtocolKind.PROTOZOA_MW):
+        from repro.system.machine import build_protocol
+        cfg = SystemConfig(protocol=kind, cores=4,
+                           l1_organization=L1Organization.SECTOR,
+                           check_invariants=True, check_values=True)
+        return build_protocol(cfg)
+
+    def test_engine_selects_sector_cache(self):
+        p = self.make()
+        assert isinstance(p.l1s[0], SectorCache)
+
+    def test_false_sharing_still_eliminated(self):
+        p = self.make()
+        base = 16 * 64
+        for _ in range(30):
+            p.write(0, base)
+            p.write(1, base + 56)
+        assert p.stats.misses <= 4  # two cold misses per writer at most
+
+    def test_mesi_never_uses_sector_cache(self):
+        from repro.memory.fixed_cache import FixedCache
+        from repro.system.machine import build_protocol
+        cfg = SystemConfig(protocol=ProtocolKind.MESI, cores=2,
+                           l1_organization=L1Organization.SECTOR)
+        assert isinstance(build_protocol(cfg).l1s[0], FixedCache)
+
+    def test_random_stress_on_sector(self):
+        from repro.verification.random_tester import RandomTester
+        cfg = SystemConfig(protocol=ProtocolKind.PROTOZOA_SW, cores=4,
+                           l1_organization=L1Organization.SECTOR)
+        report = RandomTester(cfg, regions=10, seed=3, same_set=True,
+                              check_every=16).run(1500)
+        assert report.evictions > 0  # frame evictions exercised

@@ -1,0 +1,57 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.stats.charts import bar, hbar_chart, stacked_chart
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert bar(1.0, 1.0, width=10) == "#" * 10
+
+    def test_half_cell_rounding(self):
+        assert bar(0.55, 1.0, width=10) == "#" * 5 + "+"
+
+    def test_zero(self):
+        assert bar(0.0, 1.0, width=10) == ""
+
+    def test_zero_scale(self):
+        assert bar(1.0, 0.0) == ""
+
+    def test_clamped_to_width(self):
+        assert len(bar(5.0, 1.0, width=10)) == 10
+
+
+class TestHBarChart:
+    def test_labels_and_values(self):
+        text = hbar_chart({"MESI": 1.0, "MW": 0.5}, title="traffic")
+        lines = text.splitlines()
+        assert lines[0] == "traffic"
+        assert "MESI" in lines[1] and "1.000" in lines[1]
+        assert "0.500" in lines[2]
+
+    def test_reference_marker(self):
+        text = hbar_chart({"MESI": 1.0, "MW": 0.5}, reference=1.0, width=20)
+        assert "|" in text or text.count("#") > 0  # marker at/beyond scale end
+
+    def test_empty_series(self):
+        assert hbar_chart({}, title="t") == "t"
+
+    def test_relative_lengths(self):
+        text = hbar_chart({"a": 1.0, "b": 0.25}, width=40)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") > 3 * b_line.count("#")
+
+
+class TestStackedChart:
+    def test_segments_and_legend(self):
+        rows = [("MESI", {"used": 0.3, "unused": 0.5, "ctrl": 0.2}),
+                ("MW", {"used": 0.3, "unused": 0.0, "ctrl": 0.1})]
+        segments = [("used", "U"), ("unused", "-"), ("ctrl", "c")]
+        text = stacked_chart(rows, segments, width=20, title="fig9")
+        assert "fig9" in text
+        assert "U=used" in text
+        mesi_line = [ln for ln in text.splitlines() if "MESI" in ln][0]
+        assert "1.000" in mesi_line
+        assert mesi_line.count("-") > 0
+
+    def test_empty_rows(self):
+        assert stacked_chart([], [("a", "A")], title="t") == "t"

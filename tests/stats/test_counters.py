@@ -1,0 +1,88 @@
+"""Tests for run statistics and derived metrics."""
+
+import pytest
+
+from repro.coherence.messages import MsgCategory
+from repro.stats.counters import RunStats, TrafficBreakdown
+
+
+class TestTrafficBreakdown:
+    def test_empty(self):
+        t = TrafficBreakdown()
+        assert t.total == 0
+        assert t.fractions() == {"used": 0.0, "unused": 0.0, "control": 0.0}
+
+    def test_totals(self):
+        t = TrafficBreakdown()
+        t.used_data = 60
+        t.unused_data = 20
+        t.control[MsgCategory.REQ.value] = 20
+        assert t.control_total == 20
+        assert t.total == 100
+        assert t.fractions() == {"used": 0.6, "unused": 0.2, "control": 0.2}
+
+
+class TestRunStats:
+    def test_mpki(self):
+        s = RunStats(cores=2)
+        s.instructions = 2000
+        s.read_misses = 3
+        s.write_misses = 2
+        s.upgrade_misses = 1
+        assert s.misses == 6
+        assert s.mpki() == pytest.approx(3.0)
+
+    def test_mpki_no_instructions(self):
+        assert RunStats(2).mpki() == 0.0
+
+    def test_miss_rate(self):
+        s = RunStats(2)
+        s.reads, s.writes = 6, 4
+        s.read_misses = 2
+        assert s.miss_rate() == pytest.approx(0.2)
+        assert s.accesses == 10
+
+    def test_data_words_accounting(self):
+        s = RunStats(2)
+        s.data_words(3, 1)
+        assert s.traffic.used_data == 24
+        assert s.traffic.unused_data == 8
+
+    def test_used_fraction(self):
+        s = RunStats(2)
+        s.data_words(3, 1)
+        assert s.used_fraction() == pytest.approx(0.75)
+        assert RunStats(2).used_fraction() == 0.0
+
+    def test_control_bytes_by_category(self):
+        s = RunStats(2)
+        s.control_bytes(MsgCategory.INV, 8)
+        s.control_bytes(MsgCategory.INV, 8)
+        s.control_bytes(MsgCategory.NACK, 8)
+        assert s.traffic.control["inv"] == 16
+        assert s.traffic.control["nack"] == 8
+
+    def test_execution_cycles_is_slowest_core(self):
+        s = RunStats(3)
+        s.core_cycles = [10, 99, 5]
+        assert s.execution_cycles() == 99
+
+    def test_block_size_buckets(self):
+        s = RunStats(2)
+        for width, n in [(1, 2), (2, 2), (4, 4), (8, 8)]:
+            for _ in range(n):
+                s.record_install(width)
+        buckets = s.block_size_buckets()
+        assert buckets["1-2"] == pytest.approx(4 / 16)
+        assert buckets["3-4"] == pytest.approx(4 / 16)
+        assert buckets["5-6"] == 0.0
+        assert buckets["7-8"] == pytest.approx(8 / 16)
+
+    def test_block_size_buckets_empty(self):
+        assert sum(RunStats(2).block_size_buckets().values()) == 0.0
+
+    def test_summary_keys(self):
+        summary = RunStats(2).summary()
+        for key in ("instructions", "mpki", "invalidations", "traffic_bytes",
+                    "used_frac", "exec_cycles"):
+            assert key in summary

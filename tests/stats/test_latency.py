@@ -1,0 +1,87 @@
+"""Tests for the miss-latency histogram."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.latency import LatencyHistogram
+
+
+class TestRecording:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile_bound(0.5) == 0
+
+    def test_basic_stats(self):
+        h = LatencyHistogram()
+        for v in (10, 20, 30):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(20.0)
+        assert h.min == 10 and h.max == 30
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_bucket_boundaries(self):
+        h = LatencyHistogram()
+        h.record(0)
+        h.record(1)
+        h.record(2)
+        h.record(3)
+        h.record(4)
+        assert h.buckets[0] == 2  # 0 and 1
+        assert h.buckets[1] == 2  # 2 and 3
+        assert h.buckets[2] == 1  # 4
+
+    def test_overflow_clamped(self):
+        h = LatencyHistogram(max_exponent=4)
+        h.record(10 ** 9)
+        assert h.buckets[4] == 1
+
+
+class TestPercentiles:
+    def test_p50_in_dominant_bucket(self):
+        h = LatencyHistogram()
+        for _ in range(99):
+            h.record(8)  # bucket [8, 15]
+        h.record(1024)
+        assert h.percentile_bound(0.5) == 15
+        assert h.percentile_bound(0.99) == 15
+        assert h.percentile_bound(1.0) >= 1024
+
+    def test_invalid_fraction(self):
+        h = LatencyHistogram()
+        with pytest.raises(ValueError):
+            h.percentile_bound(0.0)
+        with pytest.raises(ValueError):
+            h.percentile_bound(1.5)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+    def test_percentile_bound_upper_bounds_true_percentile(self, values):
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        values.sort()
+        for frac in (0.5, 0.95, 1.0):
+            index = max(int(frac * len(values)) - 1, 0)
+            assert h.percentile_bound(frac) >= values[index]
+
+
+class TestReporting:
+    def test_as_dict_keys(self):
+        h = LatencyHistogram()
+        h.record(100)
+        d = h.as_dict()
+        assert set(d) == {"count", "mean", "min", "max", "p50<=", "p95<=", "p99<="}
+
+    def test_nonzero_buckets(self):
+        h = LatencyHistogram()
+        h.record(1)
+        h.record(100)
+        entries = h.nonzero_buckets()
+        assert entries[0][0] == 0
+        assert all(count > 0 for _, _, count in entries)
+        assert sum(count for _, _, count in entries) == 2

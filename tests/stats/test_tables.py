@@ -1,0 +1,43 @@
+"""Tests for table rendering and ratio helpers."""
+
+import pytest
+
+from repro.stats.tables import format_table, geomean, normalize
+
+
+class TestNormalize:
+    def test_basic(self):
+        out = normalize({"a": 10, "b": 5}, "a")
+        assert out == {"a": 1.0, "b": 0.5}
+
+    def test_zero_baseline(self):
+        assert normalize({"a": 0, "b": 5}, "a") == {"a": 0.0, "b": 0.0}
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_underline(self):
+        text = format_table(["name", "x"], [["alpha", 1.5], ["b", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded equally
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2

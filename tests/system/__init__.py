@@ -1,0 +1,1 @@
+"""Package marker so bare pytest resolves repo-root imports."""

@@ -1,0 +1,68 @@
+"""Hypothesis fuzzing of the full simulation loop.
+
+Arbitrary small traces across all protocols must simulate cleanly with
+checking enabled, and the cross-protocol accounting identities must hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import build_protocol
+from repro.system.simulator import Simulator
+from repro.trace.events import MemAccess
+
+access = st.builds(
+    MemAccess,
+    is_write=st.booleans(),
+    addr=st.integers(0, 6 * 64 - 8),  # six regions
+    size=st.sampled_from([1, 4, 8, 16, 32]),
+    pc=st.integers(0, 7),
+    think=st.integers(0, 5),
+)
+
+streams_strategy = st.lists(
+    st.lists(access, max_size=40), min_size=1, max_size=3
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(kind=st.sampled_from(list(ProtocolKind)), streams=streams_strategy)
+def test_fuzzed_traces_simulate_cleanly(kind, streams):
+    config = SystemConfig(protocol=kind, cores=4, check_invariants=True,
+                          check_values=True)
+    protocol = build_protocol(config)
+    stats = Simulator(protocol, streams).run()
+    total = sum(len(s) for s in streams)
+    assert stats.accesses == total
+    assert stats.read_hits + stats.write_hits + stats.misses == total
+    assert stats.instructions >= total
+    protocol.check_all_invariants()
+
+
+@settings(max_examples=10, deadline=None)
+@given(streams=streams_strategy)
+def test_all_protocols_read_same_values(streams):
+    """Golden-value checking holds under every protocol for one trace."""
+    for kind in ProtocolKind:
+        config = SystemConfig(protocol=kind, cores=4, check_values=True)
+        protocol = build_protocol(config)
+        Simulator(protocol, [list(s) for s in streams]).run()
+
+
+@settings(max_examples=10, deadline=None)
+@given(streams=streams_strategy)
+def test_traffic_identity_under_fuzz(streams):
+    from repro.coherence.messages import MsgType
+
+    config = SystemConfig(protocol=ProtocolKind.PROTOZOA_MW, cores=4)
+    protocol = build_protocol(config)
+    payload_words = [0]
+
+    def hook(mtype, src, dst, words):
+        if mtype not in (MsgType.MEM_READ, MsgType.MEM_DATA, MsgType.MEM_WRITE):
+            payload_words[0] += words
+
+    protocol.trace_hook = hook
+    stats = Simulator(protocol, streams).run()
+    data_bytes = stats.traffic.used_data + stats.traffic.unused_data
+    assert data_bytes == 8 * payload_words[0]

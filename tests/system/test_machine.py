@@ -1,0 +1,70 @@
+"""Tests for machine assembly and the one-call simulate() helper."""
+
+from repro.coherence.mesi import MESIProtocol
+from repro.coherence.protozoa_multi import ProtozoaMWProtocol, ProtozoaSWMRProtocol
+from repro.coherence.protozoa_sw import ProtozoaSWProtocol
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.memory.amoeba_cache import AmoebaCache
+from repro.memory.fixed_cache import FixedCache
+from repro.system.machine import build_protocol, simulate
+from repro.trace.events import MemAccess
+
+
+class TestBuildProtocol:
+    def test_kind_dispatch(self):
+        assert isinstance(build_protocol(SystemConfig()), MESIProtocol)
+        assert isinstance(
+            build_protocol(SystemConfig(protocol=ProtocolKind.PROTOZOA_SW)),
+            ProtozoaSWProtocol)
+        assert isinstance(
+            build_protocol(SystemConfig(protocol=ProtocolKind.PROTOZOA_SW_MR)),
+            ProtozoaSWMRProtocol)
+        assert isinstance(
+            build_protocol(SystemConfig(protocol=ProtocolKind.PROTOZOA_MW)),
+            ProtozoaMWProtocol)
+
+    def test_l1_organisation_follows_protocol(self):
+        mesi = build_protocol(SystemConfig())
+        mw = build_protocol(SystemConfig(protocol=ProtocolKind.PROTOZOA_MW))
+        assert isinstance(mesi.l1s[0], FixedCache)
+        assert isinstance(mw.l1s[0], AmoebaCache)
+
+    def test_per_core_structures(self):
+        p = build_protocol(SystemConfig(cores=5))
+        assert len(p.l1s) == 5
+        assert len(p.mshrs) == 5
+        assert len(p.predictors) == 5
+
+    def test_mesi_has_no_predictors(self):
+        p = build_protocol(SystemConfig())
+        assert all(pred is None for pred in p.predictors)
+
+    def test_protozoa_has_predictors(self):
+        p = build_protocol(SystemConfig(protocol=ProtocolKind.PROTOZOA_SW))
+        assert all(pred is not None for pred in p.predictors)
+
+    def test_l2_capacity_from_config(self):
+        p = build_protocol(SystemConfig())
+        assert p.l2.capacity_regions == 32 * 1024 * 1024 // 64
+
+
+class TestSimulate:
+    def test_returns_packaged_result(self):
+        streams = [[MemAccess.read(0), MemAccess.write(64)]]
+        result = simulate(streams, SystemConfig(cores=2), name="demo")
+        assert result.name == "demo"
+        assert result.protocol_name == "MESI"
+        assert result.stats.accesses == 2
+        assert result.flit_hops() >= 0
+        assert result.traffic_bytes() > 0
+
+    def test_summary_includes_flit_hops(self):
+        streams = [[MemAccess.read(0)]]
+        result = simulate(streams, SystemConfig(cores=2))
+        assert "flit_hops" in result.summary()
+
+    def test_traffic_split_sums_to_total(self):
+        streams = [[MemAccess.read(8 * i) for i in range(32)]]
+        result = simulate(streams, SystemConfig(cores=2))
+        split = result.traffic_split()
+        assert sum(split.values()) == result.traffic_bytes()

@@ -1,0 +1,54 @@
+"""Tests for RunResult accessors."""
+
+import pytest
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.events import MemAccess
+
+
+@pytest.fixture(scope="module")
+def result():
+    streams = [
+        [MemAccess.read(64 * r + 8 * w, 8, 0x10, 2)
+         for r in range(4) for w in range(8)],
+        [MemAccess.write(64 * 10 + 8 * w, 8, 0x20, 1) for w in range(8)],
+    ]
+    return simulate(streams, SystemConfig(protocol=ProtocolKind.PROTOZOA_MW,
+                                          cores=2), name="unit")
+
+
+class TestAccessors:
+    def test_protocol_name(self, result):
+        assert result.protocol_name == "MW"
+
+    def test_traffic_split_components(self, result):
+        split = result.traffic_split()
+        assert set(split) == {"used", "unused", "control"}
+        assert sum(split.values()) == result.traffic_bytes()
+
+    def test_control_split_covers_categories(self, result):
+        control = result.control_split()
+        assert set(control) == {"req", "fwd", "inv", "ack", "nack", "hdr"}
+        assert sum(control.values()) == result.stats.traffic.control_total
+
+    def test_mpki_positive(self, result):
+        assert result.mpki() > 0
+
+    def test_used_fraction_high_for_dense_trace(self, result):
+        assert result.used_fraction() > 0.9  # every fetched word is read
+
+    def test_block_size_buckets_normalized(self, result):
+        assert sum(result.block_size_buckets().values()) == pytest.approx(1.0)
+
+    def test_dir_owned_buckets_keys(self, result):
+        assert set(result.dir_owned_buckets()) == {
+            "1owner", "1owner+sharers", ">1owner",
+        }
+
+    def test_summary_superset_of_stats_summary(self, result):
+        assert set(result.stats.summary()) < set(result.summary())
+
+    def test_exec_cycles_positive(self, result):
+        assert result.exec_cycles() > 0
+        assert result.flit_hops() > 0

@@ -1,0 +1,98 @@
+"""Tests for the protocol-independent trace profiler."""
+
+import pytest
+
+from repro.trace.analysis import profile_streams, profile_workload
+from repro.trace.events import MemAccess
+
+
+def region_word(region, word):
+    return region * 64 + word * 8
+
+
+class TestClassification:
+    def test_private_region(self):
+        streams = [[MemAccess.write(region_word(0, 1))], []]
+        profile = profile_streams(streams)
+        assert profile.class_fraction("private") == 1.0
+
+    def test_read_shared_region(self):
+        streams = [[MemAccess.read(region_word(0, 1))],
+                   [MemAccess.read(region_word(0, 5))]]
+        profile = profile_streams(streams)
+        assert profile.class_fraction("read-shared") == 1.0
+
+    def test_false_shared_region(self):
+        streams = [[MemAccess.write(region_word(0, 0))],
+                   [MemAccess.write(region_word(0, 7))]]
+        profile = profile_streams(streams)
+        assert profile.falsely_shared_fraction == 1.0
+
+    def test_true_shared_region(self):
+        streams = [[MemAccess.write(region_word(0, 3))],
+                   [MemAccess.read(region_word(0, 3))]]
+        profile = profile_streams(streams)
+        assert profile.class_fraction("true-shared") == 1.0
+
+    def test_reader_overlapping_disjoint_writers_is_true_sharing(self):
+        streams = [[MemAccess.write(region_word(0, 0))],
+                   [MemAccess.write(region_word(0, 7)),
+                    MemAccess.read(region_word(0, 0))]]
+        profile = profile_streams(streams)
+        assert profile.class_fraction("true-shared") == 1.0
+
+
+class TestAggregates:
+    def test_counts(self):
+        streams = [[MemAccess.read(0), MemAccess.write(8)], [MemAccess.read(64)]]
+        profile = profile_streams(streams)
+        assert profile.accesses == 3
+        assert profile.writes == 1
+        assert profile.regions == 2
+        assert profile.live_words == 3
+        assert profile.write_fraction == pytest.approx(1 / 3)
+
+    def test_density(self):
+        streams = [[MemAccess.read(region_word(0, w)) for w in range(8)],
+                   [MemAccess.read(region_word(1, 0))]]
+        profile = profile_streams(streams)
+        assert profile.spatial_density == pytest.approx((8 + 1) / 2)
+
+    def test_summary_keys(self):
+        profile = profile_streams([[MemAccess.read(0)]])
+        assert set(profile.summary()) == {
+            "accesses", "write_frac", "regions", "density_words",
+            "private", "read_shared", "true_shared", "false_shared",
+        }
+
+
+class TestWorkloadProfiles:
+    """Each synthetic benchmark must carry its paper-ascribed profile."""
+
+    def test_linreg_dominated_by_false_sharing_traffic(self):
+        profile = profile_workload("linear-regression", per_core=400)
+        assert profile.falsely_shared_fraction > 0  # the counter regions
+        assert profile.write_fraction > 0.3  # increment-heavy
+
+    def test_matmul_private_and_dense(self):
+        profile = profile_workload("matrix-multiply", per_core=400)
+        assert profile.class_fraction("private") + \
+            profile.class_fraction("read-shared") > 0.95
+        assert profile.spatial_density > 4.0
+
+    def test_canneal_sparse(self):
+        profile = profile_workload("canneal", per_core=400)
+        assert profile.spatial_density < 2.5
+
+    def test_histogram_bins_falsely_shared(self):
+        profile = profile_workload("histogram", per_core=600)
+        assert profile.falsely_shared_fraction > 0
+
+    def test_string_match_mixed_fine_grain(self):
+        profile = profile_workload("string-match", per_core=600)
+        assert profile.falsely_shared_fraction > 0
+
+    @pytest.mark.parametrize("name", ["apache", "h2", "barnes"])
+    def test_irregular_apps_have_true_sharing(self, name):
+        profile = profile_workload(name, per_core=600)
+        assert profile.class_fraction("true-shared") > 0

@@ -1,0 +1,27 @@
+"""Tests for trace event records."""
+
+import pytest
+
+from repro.trace.events import MemAccess
+
+
+class TestConstruction:
+    def test_read_factory(self):
+        e = MemAccess.read(0x100, 8, pc=7, think=3)
+        assert not e.is_write
+        assert (e.addr, e.size, e.pc, e.think) == (0x100, 8, 7, 3)
+
+    def test_write_factory(self):
+        assert MemAccess.write(0x100).is_write
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MemAccess(False, -1)
+        with pytest.raises(ValueError):
+            MemAccess(False, 0, size=0)
+        with pytest.raises(ValueError):
+            MemAccess(False, 0, think=-1)
+
+    def test_repr(self):
+        assert "W 0x10" in repr(MemAccess.write(0x10))
+        assert "R 0x10" in repr(MemAccess.read(0x10))

@@ -1,0 +1,73 @@
+"""Tests for trace file round-tripping."""
+
+import io
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.trace.events import MemAccess
+from repro.trace.io import read_trace, write_trace
+from repro.trace.workloads import build_streams
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        streams = [
+            [MemAccess.read(0x100, 8, 0x40, 3), MemAccess.write(0x108, 4, 0x44, 0)],
+            [MemAccess.write(0x2000, 8, 0x50, 7)],
+        ]
+        buf = io.StringIO()
+        count = write_trace(streams, buf)
+        assert count == 3
+        buf.seek(0)
+        back = read_trace(buf)
+        assert len(back) == 2
+        first = back[0][0]
+        assert (first.is_write, first.addr, first.size, first.pc, first.think) == \
+            (False, 0x100, 8, 0x40, 3)
+        assert back[1][0].is_write
+
+    def test_workload_roundtrip_exact(self):
+        streams = build_streams("histogram", cores=4, per_core=100)
+        buf = io.StringIO()
+        write_trace(streams, buf)
+        buf.seek(0)
+        back = read_trace(buf)
+        for orig, rest in zip(streams, back):
+            assert [(e.is_write, e.addr, e.size, e.pc, e.think) for e in orig] == \
+                [(e.is_write, e.addr, e.size, e.pc, e.think) for e in rest]
+
+    def test_empty_core_streams_preserved(self):
+        buf = io.StringIO()
+        write_trace([[], [MemAccess.read(0)]], buf)
+        buf.seek(0)
+        back = read_trace(buf)
+        assert back[0] == []
+        assert len(back[1]) == 1
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO("not a trace\n"))
+
+    def test_bad_header(self):
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO("#repro-trace v1 cores=x\n"))
+
+    def test_bad_field_count(self):
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO("#repro-trace v1 cores=1\n0 R 100\n"))
+
+    def test_bad_kind(self):
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO("#repro-trace v1 cores=1\n0 X 100 8 0 0\n"))
+
+    def test_core_out_of_range(self):
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO("#repro-trace v1 cores=1\n3 R 100 8 0 0\n"))
+
+    def test_comments_and_blanks_skipped(self):
+        text = "#repro-trace v1 cores=1\n\n# comment\n0 R 100 8 0 0\n"
+        back = read_trace(io.StringIO(text))
+        assert len(back[0]) == 1

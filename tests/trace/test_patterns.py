@@ -1,0 +1,159 @@
+"""Tests for the workload pattern primitives."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.trace.events import MemAccess
+from repro.trace.patterns import (
+    REGION,
+    consumer_stream,
+    false_sharing_counter,
+    interleave,
+    migratory_regions,
+    packed_slots,
+    private_random,
+    private_stream,
+    producer_stream,
+    shared_read_table,
+    stencil_stream,
+)
+
+
+def take(gen, n=100):
+    return list(itertools.islice(gen, n))
+
+
+def rng():
+    return random.Random(42)
+
+
+class TestPrivateStream:
+    def test_sequential_and_wrapping(self):
+        evs = take(private_stream(0x1000, 64, pc=1, rng=rng()), 10)
+        addrs = [e.addr for e in evs]
+        assert addrs[:8] == [0x1000 + 8 * i for i in range(8)]
+        assert addrs[8] == 0x1000  # wrapped
+
+    def test_write_fraction(self):
+        evs = take(private_stream(0, 8 * 1024, pc=1, write_frac=1.0, rng=rng()))
+        assert all(e.is_write for e in evs)
+        evs = take(private_stream(0, 8 * 1024, pc=1, write_frac=0.0, rng=rng()))
+        assert not any(e.is_write for e in evs)
+
+
+class TestPrivateRandom:
+    def test_stays_in_footprint(self):
+        evs = take(private_random(0x2000, 256, pc=1, rng=rng()), 200)
+        assert all(0x2000 <= e.addr < 0x2000 + 256 for e in evs)
+
+    def test_word_aligned(self):
+        evs = take(private_random(0x2000, 4096, pc=1, rng=rng()))
+        assert all(e.addr % 8 == 0 for e in evs)
+
+
+class TestFalseSharingCounter:
+    def test_rmw_pattern(self):
+        evs = take(false_sharing_counter(0x3000, slot=2, pc=5), 6)
+        kinds = [e.is_write for e in evs]
+        assert kinds == [False, True] * 3
+        assert all(e.addr == 0x3000 + 16 for e in evs)
+
+    def test_slots_share_regions(self):
+        a = take(false_sharing_counter(0x3000, 0, 1), 1)[0]
+        b = take(false_sharing_counter(0x3000, 7, 1), 1)[0]
+        assert a.addr // REGION == b.addr // REGION
+        c = take(false_sharing_counter(0x3000, 8, 1), 1)[0]
+        assert c.addr // REGION == a.addr // REGION + 1
+
+    def test_write_only_mode(self):
+        evs = take(false_sharing_counter(0, 0, 1, read_modify_write=False), 4)
+        assert all(e.is_write for e in evs)
+
+
+class TestPackedSlots:
+    def test_adjacent_cores_share_regions(self):
+        # 24-byte slots: cores 0..2 all touch region 0.
+        seen = set()
+        for core in range(3):
+            for e in take(packed_slots(0, core, 24, pc=1, rng=rng()), 50):
+                seen.add((core, e.addr // REGION))
+        regions0 = {r for c, r in seen if c == 0}
+        regions2 = {r for c, r in seen if c == 2}
+        assert regions0 & regions2  # overlap -> false sharing
+
+    def test_cores_never_touch_same_word(self):
+        words = {}
+        for core in range(4):
+            for e in take(packed_slots(0, core, 24, pc=1, rng=rng()), 100):
+                words.setdefault(e.addr, set()).add(core)
+        assert all(len(cores) == 1 for cores in words.values())
+
+
+class TestSharedTable:
+    def test_entries_span_words(self):
+        evs = take(shared_read_table(0, 1024, pc=1, span_words=4, rng=rng()), 40)
+        assert all(not e.is_write for e in evs)
+        # Groups of 4 consecutive words.
+        for i in range(0, 40, 4):
+            group = evs[i:i + 4]
+            assert [e.addr for e in group] == [group[0].addr + 8 * j for j in range(4)]
+
+
+class TestProducerConsumer:
+    def test_producer_writes_whole_regions(self):
+        evs = take(producer_stream(0x4000, 4, pc=1), 16)
+        assert all(e.is_write for e in evs)
+        assert [e.addr for e in evs[:8]] == [0x4000 + 8 * i for i in range(8)]
+
+    def test_consumer_reads(self):
+        evs = take(consumer_stream(0x4000, 4, pc=1), 8)
+        assert all(not e.is_write for e in evs)
+
+
+class TestMigratory:
+    def test_rmw_visits(self):
+        evs = take(migratory_regions(0x5000, 8, core=0, pc=1, rng=rng()), 16)
+        assert evs[0].is_write is False and evs[1].is_write is True
+        assert evs[0].addr == evs[1].addr
+
+    def test_cores_staggered(self):
+        a = take(migratory_regions(0, 8, core=0, pc=1, rng=rng()), 1)[0]
+        b = take(migratory_regions(0, 8, core=3, pc=1, rng=rng()), 1)[0]
+        assert a.addr // REGION != b.addr // REGION
+
+
+class TestStencil:
+    def test_mostly_in_own_slab(self):
+        evs = take(stencil_stream(1, 4, 0, 4096, pc=1, rng=rng()), 200)
+        own = [e for e in evs if 4096 <= e.addr < 8192]
+        assert len(own) > 150
+
+    def test_boundary_reads_touch_neighbours(self):
+        evs = take(stencil_stream(1, 4, 0, 4096, pc=1, boundary_every=4,
+                                  rng=rng()), 400)
+        foreign = [e for e in evs if not 4096 <= e.addr < 8192]
+        assert foreign
+        assert all(not e.is_write for e in foreign)
+
+
+class TestInterleave:
+    def test_mixes_components(self):
+        a = (MemAccess.read(0x1000) for _ in itertools.count())
+        b = (MemAccess.read(0x2000) for _ in itertools.count())
+        evs = take(interleave(rng(), [(1, a), (1, b)], burst=4), 400)
+        addrs = {e.addr for e in evs}
+        assert addrs == {0x1000, 0x2000}
+
+    def test_zero_weights_rejected(self):
+        a = iter(())
+        with pytest.raises(ValueError):
+            next(interleave(rng(), [(0, a)]))
+
+    def test_weights_respected_roughly(self):
+        a = (MemAccess.read(0x1000) for _ in itertools.count())
+        b = (MemAccess.read(0x2000) for _ in itertools.count())
+        evs = take(interleave(rng(), [(9, a), (1, b)], burst=2), 2000)
+        frac_a = sum(1 for e in evs if e.addr == 0x1000) / len(evs)
+        assert frac_a > 0.7

@@ -1,0 +1,59 @@
+"""Tests for sparse-footprint pattern variants."""
+
+import itertools
+import random
+
+from repro.trace.patterns import REGION, WORD, private_random, shared_read_table
+
+
+def take(gen, n):
+    return list(itertools.islice(gen, n))
+
+
+def rng():
+    return random.Random(7)
+
+
+class TestSparseRandom:
+    def test_live_subset_is_one_per_stride(self):
+        evs = take(private_random(0, 64 * 1024, 1, sparsity=8, rng=rng()), 3000)
+        slots = {e.addr // (8 * WORD) for e in evs}
+        words = {e.addr for e in evs}
+        # Exactly one live word per 8-word stride (deterministic jitter).
+        per_slot = {}
+        for e in evs:
+            per_slot.setdefault(e.addr // (8 * WORD), set()).add(e.addr)
+        assert all(len(ws) == 1 for ws in per_slot.values())
+        assert len(slots) == len(words)
+
+    def test_jitter_scatters_offsets(self):
+        evs = take(private_random(0, 64 * 1024, 1, sparsity=8, rng=rng()), 3000)
+        offsets = {(e.addr % REGION) // WORD for e in evs}
+        assert len(offsets) > 3  # not a fixed stride at offset 0
+
+    def test_sparsity_one_is_dense(self):
+        evs = take(private_random(0, 1024, 1, sparsity=1, rng=rng()), 2000)
+        assert len({e.addr for e in evs}) == 128  # every word reachable
+
+    def test_addresses_stay_in_footprint(self):
+        evs = take(private_random(0x1000, 4096, 1, sparsity=5, rng=rng()), 1000)
+        assert all(0x1000 <= e.addr < 0x1000 + 4096 for e in evs)
+
+
+class TestSparseTable:
+    def test_sparse_entries_scattered(self):
+        evs = take(shared_read_table(0, 48 * 1024, 1, span_words=2, sparsity=3,
+                                     rng=rng()), 4000)
+        starts = {e.addr for i, e in enumerate(evs) if i % 2 == 0}
+        # Live entries are 1/3 of all slots.
+        assert len(starts) <= 48 * 1024 // (16 * 3)
+        offsets = {(s % (16 * 3)) for s in starts}
+        assert len(offsets) > 1  # jittered, not strided
+
+    def test_entries_remain_contiguous_spans(self):
+        evs = take(shared_read_table(0, 48 * 1024, 1, span_words=4, sparsity=2,
+                                     rng=rng()), 400)
+        for i in range(0, 400, 4):
+            group = evs[i:i + 4]
+            assert [e.addr for e in group] == \
+                [group[0].addr + 8 * j for j in range(4)]

@@ -1,0 +1,93 @@
+"""Tests for the 28-benchmark registry."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.trace.workloads import WORKLOADS, build_streams, get_workload
+
+PAPER_TABLE5 = {
+    # suite -> benchmarks the paper lists (Table 5)
+    "SPLASH2": {"barnes", "cholesky", "fft", "lu", "ocean", "radix", "water"},
+    "PARSEC": {"blackscholes", "bodytrack", "canneal", "facesim",
+               "fluidanimate", "x264", "raytrace", "swaptions", "streamcluster"},
+    "Phoenix": {"histogram", "kmeans", "linear-regression", "matrix-multiply",
+                "reverse-index", "string-match", "word-count"},
+    "Commercial": {"apache", "spec-jbb"},
+    "DaCapo": {"h2", "tradebeans"},
+    "Denovo": {"parkd"},
+}
+
+
+class TestRegistry:
+    def test_all_28_benchmarks_present(self):
+        assert len(WORKLOADS) == 28
+
+    def test_suites_match_table5(self):
+        for suite, names in PAPER_TABLE5.items():
+            got = {n for n, s in WORKLOADS.items() if s.suite == suite}
+            assert got == names, f"{suite}: {got ^ names}"
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ConfigError):
+            get_workload("quake3")
+
+    def test_false_sharing_flags(self):
+        assert WORKLOADS["linear-regression"].falsely_shares
+        assert WORKLOADS["histogram"].falsely_shares
+        assert not WORKLOADS["matrix-multiply"].falsely_shares
+
+    def test_paper_metadata_carried(self):
+        spec = get_workload("linear-regression")
+        assert spec.paper_optimal == "16"
+        assert spec.paper_used_pct == 27
+
+
+class TestStreams:
+    def test_build_streams_shape(self):
+        streams = build_streams("kmeans", cores=4, per_core=50)
+        assert len(streams) == 4
+        assert all(len(s) == 50 for s in streams)
+
+    def test_deterministic(self):
+        a = build_streams("apache", cores=2, per_core=40, seed=1)
+        b = build_streams("apache", cores=2, per_core=40, seed=1)
+        assert [(e.addr, e.is_write) for e in a[0]] == \
+               [(e.addr, e.is_write) for e in b[0]]
+
+    def test_seed_changes_stream(self):
+        a = build_streams("apache", cores=2, per_core=40, seed=1)
+        b = build_streams("apache", cores=2, per_core=40, seed=2)
+        assert [(e.addr, e.is_write) for e in a[0]] != \
+               [(e.addr, e.is_write) for e in b[0]]
+
+    def test_cores_get_distinct_streams(self):
+        streams = build_streams("canneal", cores=2, per_core=40)
+        assert [e.addr for e in streams[0]] != [e.addr for e in streams[1]]
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_generates(self, name):
+        streams = build_streams(name, cores=4, per_core=30)
+        for stream in streams:
+            for e in stream:
+                assert e.addr >= 0
+                assert 1 <= e.size <= 64
+
+    def test_false_sharing_workload_shares_regions_across_cores(self):
+        streams = build_streams("linear-regression", cores=8, per_core=100)
+        regions = [
+            {e.addr // 64 for e in stream} for stream in streams
+        ]
+        shared = set()
+        for i in range(8):
+            for j in range(i + 1, 8):
+                shared |= regions[i] & regions[j]
+        assert shared  # at least one region touched by multiple cores
+
+    def test_private_workload_rarely_shares_written_words(self):
+        streams = build_streams("matrix-multiply", cores=4, per_core=200)
+        written = {}
+        for core, stream in enumerate(streams):
+            for e in stream:
+                if e.is_write:
+                    written.setdefault(e.addr, set()).add(core)
+        assert all(len(cores) == 1 for cores in written.values())

@@ -1,0 +1,76 @@
+"""Tests for the random-tester harness itself."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.verification.random_tester import RandomTester, TesterReport
+
+
+class TestReport:
+    def test_coverage_keys(self):
+        report = TesterReport(accesses=5, misses=2)
+        cov = report.coverage()
+        assert cov["accesses"] == 5
+        assert cov["misses"] == 2
+        assert set(cov) == {"accesses", "misses", "invalidations", "nacks",
+                            "writebacks", "evictions", "multi_block_snoops"}
+
+
+class TestTester:
+    def test_forces_checking_on(self):
+        cfg = SystemConfig(cores=2)  # checks off by default
+        tester = RandomTester(cfg)
+        assert tester.config.check_invariants
+        assert tester.config.check_values
+
+    def test_deterministic_given_seed(self):
+        cfg = SystemConfig(cores=2)
+        a = RandomTester(cfg, seed=9, check_every=0).run(400)
+        b = RandomTester(cfg, seed=9, check_every=0).run(400)
+        assert a.coverage() == b.coverage()
+
+    def test_reads_plus_writes_equal_accesses(self):
+        cfg = SystemConfig(cores=2)
+        report = RandomTester(cfg, seed=1, check_every=0).run(300)
+        assert report.reads + report.writes == report.accesses == 300
+
+    def test_detects_seeded_bug(self):
+        """A deliberately broken protocol must be caught."""
+        from repro.coherence.protozoa_multi import ProtozoaMWProtocol
+        from repro.system import machine
+
+        class BrokenMW(ProtozoaMWProtocol):
+            def _probe(self, core, region, req, is_write, entry, home):
+                if is_write:
+                    return []  # never invalidate anyone: SWMR violated
+                return super()._probe(core, region, req, is_write, entry, home)
+
+        original = machine._PROTOCOLS[ProtocolKind.PROTOZOA_MW]
+        machine._PROTOCOLS[ProtocolKind.PROTOZOA_MW] = BrokenMW
+        try:
+            cfg = SystemConfig(protocol=ProtocolKind.PROTOZOA_MW, cores=4)
+            with pytest.raises(ReproError):
+                RandomTester(cfg, regions=2, seed=0).run(2000)
+        finally:
+            machine._PROTOCOLS[ProtocolKind.PROTOZOA_MW] = original
+
+    def test_detects_stale_data_bug(self):
+        """Dropping writebacks must trip the value checker."""
+        from repro.coherence.mesi import MESIProtocol
+        from repro.system import machine
+
+        class LossyMESI(MESIProtocol):
+            def _writeback_blocks(self, core, blocks):
+                for b in blocks:
+                    b.dirty_mask = 0  # discard dirty data instead of patching
+                return 0, 0
+
+        original = machine._PROTOCOLS[ProtocolKind.MESI]
+        machine._PROTOCOLS[ProtocolKind.MESI] = LossyMESI
+        try:
+            cfg = SystemConfig(protocol=ProtocolKind.MESI, cores=4)
+            with pytest.raises(ReproError):
+                RandomTester(cfg, regions=2, seed=0).run(2000)
+        finally:
+            machine._PROTOCOLS[ProtocolKind.MESI] = original
