@@ -7,6 +7,7 @@ Commands
 ``compare``   one workload under all four protocols, side by side
 ``report``    regenerate the full evaluation (all tables and figures)
 ``verify``    the paper's random protocol tester with full checking
+``check``     bounded-exhaustive model checking + differential verification
 ``trace``     dump a workload's synthetic trace to a file (replayable)
 ``replay``    run a saved trace file under a chosen protocol
 """
@@ -146,11 +147,70 @@ def cmd_verify(args) -> int:
                               three_hop=args.three_hop,
                               l1_organization=L1Organization(args.substrate),
                               predictor=PredictorKind(args.predictor))
-        tester = RandomTester(config, regions=args.regions, seed=args.seed,
-                              same_set=args.same_set, check_every=8)
-        report = tester.run(args.accesses)
-        print(f"{kind.short_name:>6}: OK  {report.coverage()}")
+        for seed in range(args.seed, args.seed + args.seeds):
+            tester = RandomTester(config, regions=args.regions, seed=seed,
+                                  write_frac=args.write_frac,
+                                  max_span_words=args.max_span,
+                                  same_set=args.same_set,
+                                  check_every=args.check_every)
+            report = tester.run(args.accesses)
+            print(f"{kind.short_name:>6} seed {seed}: OK  {report.coverage()}")
     return 0
+
+
+def cmd_check(args) -> int:
+    import sys as _sys
+
+    from repro.modelcheck.runner import run_check
+
+    if args.replay:
+        return _replay_counterexample(args.replay)
+    kinds = [_protocol(args.protocol)] if args.protocol else None
+    report = run_check(kinds, cores=args.cores, regions=args.regions,
+                       depth=args.depth, pressure_regions=args.pressure,
+                       mode=args.mode, mutant_depth=args.mutant_depth)
+    report.render(_sys.stdout)
+    if args.save:
+        traces = (report.shrunk
+                  or [m.shrunk for m in report.mutant_results if m.shrunk])
+        if traces:
+            with open(args.save, "w") as fh:
+                traces[0].save(fh)
+            print(f"shrunk counterexample written to {args.save}")
+    return 0 if report.ok else 1
+
+
+def _replay_counterexample(path: str) -> int:
+    """Re-run a saved shrunk trace and confirm the recorded failure fires."""
+    from repro.common.errors import ReproError
+    from repro.modelcheck.explorer import modelcheck_config
+    from repro.modelcheck.mutants import build_mutant
+    from repro.modelcheck.ops import format_trace, read_trace
+    from repro.system.machine import build_protocol
+
+    with open(path) as fh:
+        meta, ops = read_trace(fh)
+    name = meta.get("protocol", "mesi")
+    try:
+        kind = ProtocolKind(name)  # traces record the full enum value
+    except ValueError:
+        kind = _protocol(name)
+    config = modelcheck_config(kind, cores=int(meta.get("cores", "2")))
+    mutant = meta.get("mutant", "")
+    protocol = build_mutant(mutant, config) if mutant else build_protocol(config)
+    source = f"{kind.value} + mutant {mutant}" if mutant else kind.value
+    print(f"replaying {len(ops)} ops on {source}:")
+    print(format_trace(ops))
+    try:
+        for op in ops:
+            op.apply(protocol)
+            protocol.check_all_invariants()
+        protocol.check_all_invariants()
+    except ReproError as exc:
+        print(f"reproduced: {type(exc).__name__}: {exc}")
+        return 0
+    print("trace completed without a violation — nothing reproduced")
+    return 1
 
 
 def cmd_inspect(args) -> int:
@@ -227,8 +287,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regions", type=int, default=8)
     p.add_argument("--same-set", action="store_true",
                    help="force capacity churn (all regions in one L1 set)")
+    p.add_argument("--seeds", type=int, default=1,
+                   help="sweep this many seeds starting at --seed (default 1)")
+    p.add_argument("--write-frac", type=float, default=0.45)
+    p.add_argument("--max-span", type=int, default=4,
+                   help="largest access span in words (default 4)")
+    p.add_argument("--check-every", type=int, default=8,
+                   help="invariant-check every N accesses (default 8)")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("check",
+                       help="bounded model checking + differential verification")
+    p.add_argument("--protocol", default="",
+                   help="one protocol (default: all four)")
+    p.add_argument("--cores", type=int, default=2)
+    p.add_argument("--regions", type=int, default=1)
+    p.add_argument("--depth", type=int, default=6,
+                   help="exhaustive interleaving depth (default 6)")
+    p.add_argument("--pressure", type=int, default=1,
+                   help="extra read-only regions forcing L1 evictions")
+    p.add_argument("--mode", default="all",
+                   choices=["all", "explore", "diff", "mutants"])
+    p.add_argument("--mutant-depth", type=int, default=4,
+                   help="exploration depth for the mutation audit (default 4)")
+    p.add_argument("--save", default="",
+                   help="write the first shrunk counterexample to this file")
+    p.add_argument("--replay", default="",
+                   help="replay a saved counterexample trace instead of checking")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("inspect", help="profile workloads' sharing/locality")
     p.add_argument("--workload", default="", choices=[""] + sorted(WORKLOADS))

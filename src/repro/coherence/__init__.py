@@ -6,9 +6,14 @@ from repro.coherence.mesi import MESIProtocol
 from repro.coherence.protozoa_sw import ProtozoaSWProtocol
 from repro.coherence.protozoa_multi import ProtozoaMWProtocol, ProtozoaSWMRProtocol
 from repro.coherence.protocol_base import CoherenceProtocol
+from repro.coherence.snapshot import ProtocolSnapshot, canonical_key, restore, snapshot
 
 __all__ = [
     "CoherenceProtocol",
+    "ProtocolSnapshot",
+    "canonical_key",
+    "restore",
+    "snapshot",
     "Directory",
     "DirectoryEntry",
     "MESIProtocol",

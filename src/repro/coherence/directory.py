@@ -95,6 +95,40 @@ class Directory:
         """Drop an entry entirely (L2 recall path)."""
         self._entries.pop(region, None)
 
+    def snapshot(self):
+        """Opaque copy of every entry plus the Figure 11 counters."""
+        entries = {
+            region: (set(e.readers), set(e.writers))
+            for region, e in self._entries.items()
+        }
+        buckets = (self.owned_one_owner_only, self.owned_one_owner_with_sharers,
+                   self.owned_multi_owner)
+        return entries, buckets
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        entries, buckets = snap
+        self._entries = {}
+        for region, (readers, writers) in entries.items():
+            entry = DirectoryEntry()
+            entry.readers = set(readers)
+            entry.writers = set(writers)
+            self._entries[region] = entry
+        (self.owned_one_owner_only, self.owned_one_owner_with_sharers,
+         self.owned_multi_owner) = buckets
+
+    def canonical_state(self):
+        """Hashable summary of the tracked sharers (unused entries elided).
+
+        An empty entry behaves identically to an absent one everywhere in
+        the engine, so eliding it lets the model checker merge those states.
+        """
+        return tuple(sorted(
+            (region, tuple(sorted(e.readers)), tuple(sorted(e.writers)))
+            for region, e in self._entries.items()
+            if not e.unused
+        ))
+
     def owned_access_buckets(self) -> Dict[str, int]:
         """Figure 11 histogram: {'1owner', '1owner+sharers', '>1owner'}."""
         return {

@@ -566,6 +566,28 @@ class CoherenceProtocol:
             self._golden_region(region)[word] = self._seq
 
     # ------------------------------------------------------------------
+    # Model-checking hooks (bounded exploration; repro.modelcheck)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        """Capture the complete mutable protocol state (BFS backtracking)."""
+        from repro.coherence.snapshot import snapshot
+
+        return snapshot(self)
+
+    def restore_state(self, snap) -> None:
+        """Rewind to a state captured by :meth:`snapshot_state`."""
+        from repro.coherence.snapshot import restore
+
+        restore(self, snap)
+
+    def canonical_key(self) -> tuple:
+        """Hashable abstract-state key; equal keys behave identically."""
+        from repro.coherence.snapshot import canonical_key
+
+        return canonical_key(self)
+
+    # ------------------------------------------------------------------
     # Invariant checking (the paper's correctness section, as code)
     # ------------------------------------------------------------------
 

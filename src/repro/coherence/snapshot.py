@@ -1,0 +1,145 @@
+"""Protocol-state snapshot, restore, and canonical hashing.
+
+The model checker (``repro.modelcheck``) explores the protocols by bounded
+breadth-first search: apply one memory operation, look at the resulting
+state, back up, try the next operation.  This module provides the three
+hooks that make that possible on top of the atomic-transaction engine:
+
+* :func:`snapshot` / :func:`restore` — capture and reinstate everything a
+  transaction can read or write: L1 contents, directory, L2/memory images,
+  MSHRs, the golden value store, and the write-sequence counter.  Each
+  component exposes its own ``snapshot``/``restore`` pair; this module just
+  composes them.
+* :func:`canonical_key` — a hashable summary of the *abstract* protocol
+  state, used to prune revisited states.  Two states share a key exactly
+  when every future operation sequence behaves identically on both:
+
+  - L1 block sets (region, range, MESI state, dirty mask, relative LRU
+    order) — but not data values or usage masks, which only feed the
+    statistics;
+  - directory entries and L2 presence/dirtiness;
+  - MSHR in-flight sets (always empty between atomic transactions, kept
+    for completeness);
+  - a per-block and per-L2-region *staleness signature*: the mask of words
+    whose stored value disagrees with the golden image.  In a correct
+    protocol every signature is empty; a data-movement bug (e.g. a dropped
+    writeback) makes it non-empty, so buggy data states are never merged
+    with clean ones and value violations stay reachable under dedup.
+
+  The monotonic write-sequence counter is deliberately excluded — with it,
+  no two states would ever merge and the search would never converge.
+
+Snapshots are only sound for stateless granularity predictors
+(whole-region / single-word): the PC-history predictor carries hidden
+state that the key does not cover, so :func:`check_snapshot_safe` rejects
+it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.params import PredictorKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.coherence.protocol_base import CoherenceProtocol
+
+
+class ProtocolSnapshot(NamedTuple):
+    """Everything needed to rewind a protocol to a prior state."""
+
+    l1s: Tuple[object, ...]
+    mshrs: Tuple[object, ...]
+    directory: object
+    l2: object
+    golden: Dict[int, List[int]]
+    seq: int
+
+
+def check_snapshot_safe(protocol: "CoherenceProtocol") -> None:
+    """Reject configurations whose behaviour escapes the snapshot."""
+    if (protocol.config.protocol.adaptive_storage
+            and protocol.config.predictor is PredictorKind.PC_HISTORY):
+        raise ConfigError(
+            "model checking needs a stateless predictor "
+            "(whole-region or single-word); pc-history carries hidden state"
+        )
+
+
+def snapshot(protocol: "CoherenceProtocol") -> ProtocolSnapshot:
+    """Capture the complete mutable state of ``protocol``."""
+    check_snapshot_safe(protocol)
+    return ProtocolSnapshot(
+        l1s=tuple(l1.snapshot() for l1 in protocol.l1s),
+        mshrs=tuple(m.snapshot() for m in protocol.mshrs),
+        directory=protocol.directory.snapshot(),
+        l2=protocol.l2.snapshot(),
+        golden={region: list(words) for region, words in protocol._golden.items()},
+        seq=protocol._seq,
+    )
+
+
+def restore(protocol: "CoherenceProtocol", snap: ProtocolSnapshot) -> None:
+    """Rewind ``protocol`` to a state captured by :func:`snapshot`.
+
+    Statistics and network accounting are *not* rewound: they accumulate
+    across the whole exploration and the model checker never reads them as
+    per-state facts (per-operation observables are collected through the
+    trace hook instead).
+    """
+    for l1, s in zip(protocol.l1s, snap.l1s):
+        l1.restore(s)
+    for mshr, s in zip(protocol.mshrs, snap.mshrs):
+        mshr.restore(s)
+    protocol.directory.restore(snap.directory)
+    protocol.l2.restore(snap.l2)
+    protocol._golden = {region: list(words) for region, words in snap.golden.items()}
+    protocol._seq = snap.seq
+    protocol._txn_suppliers = []
+
+
+def _stale_signature(protocol: "CoherenceProtocol") -> tuple:
+    """Where stored values disagree with the golden image (masks per holder).
+
+    Sound abstraction of the data state: in a correct protocol an L1 copy
+    never disagrees with golden, and an L2 word disagrees exactly while
+    some L1 holds it dirty — both are functions of the abstract state.  A
+    data-movement bug (dropped writeback, lost invalidation) breaks that
+    correspondence, and the discrepancy *pattern* — not the concrete
+    values — is what decides whether a future read can trip the value
+    checker, so keying on it keeps value violations reachable under dedup.
+    """
+    golden = protocol._golden
+    parts = []
+    for core, l1 in enumerate(protocol.l1s):
+        for block in l1:
+            gold = golden.get(block.region)
+            mask = 0
+            for word in block.range.words():
+                expect = gold[word] if gold is not None else 0
+                if block.value(word) != expect:
+                    mask |= 1 << word
+            if mask:
+                parts.append((core, block.region, block.range.as_tuple(), mask))
+    for region, _dirty in protocol.l2.canonical_state():
+        gold = golden.get(region)
+        mask = 0
+        for word, value in enumerate(protocol.l2.peek_words(region)):
+            expect = gold[word] if gold is not None else 0
+            if value != expect:
+                mask |= 1 << word
+        if mask:
+            parts.append((-1, region, (-1, -1), mask))
+    return tuple(sorted(parts))
+
+
+def canonical_key(protocol: "CoherenceProtocol") -> tuple:
+    """Hashable abstract-state key for BFS dedup (see module docstring)."""
+    return (
+        tuple(l1.canonical_state() for l1 in protocol.l1s),
+        protocol.directory.canonical_state(),
+        protocol.l2.canonical_state(),
+        tuple(m.canonical_state() for m in protocol.mshrs),
+        _stale_signature(protocol),
+    )

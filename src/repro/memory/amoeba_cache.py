@@ -127,6 +127,36 @@ class AmoebaCache:
         self._bump(block)
         return victims
 
+    # -- model-checking hooks ----------------------------------------------
+
+    def snapshot(self):
+        """Opaque copy of the cache contents (blocks cloned both ways)."""
+        return ([[b.clone() for b in line] for line in self._sets], self._tick)
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        lines, tick = snap
+        self._sets = [[b.clone() for b in line] for line in lines]
+        self._tick = tick
+        self._occupancy = [
+            sum(b.footprint_bytes(self.tag_bytes, self.word_bytes) for b in line)
+            for line in self._sets
+        ]
+
+    def canonical_state(self):
+        """Hashable control-state summary: per set, blocks in LRU order.
+
+        Excludes data values and usage masks (statistics only); keeps the
+        relative LRU order because it decides future eviction victims.
+        """
+        return tuple(
+            (index, tuple(
+                (b.region, b.range.as_tuple(), b.state.value, b.dirty_mask)
+                for b in sorted(line, key=lambda b: b.last_use)
+            ))
+            for index, line in enumerate(self._sets) if line
+        )
+
     # -- accounting --------------------------------------------------------
 
     def occupancy(self, index: int) -> int:

@@ -100,5 +100,39 @@ class L2Store:
     def is_dirty(self, region: int) -> bool:
         return bool(self._dirty.get(region))
 
+    def peek_words(self, region: int) -> List[int]:
+        """The region's current words without touching recency (inspection)."""
+        return list(self._data[region])
+
+    # -- model-checking hooks ----------------------------------------------
+
+    def snapshot(self):
+        """Opaque copy of the L2 image, memory image, and counters."""
+        return (
+            OrderedDict((r, list(w)) for r, w in self._data.items()),
+            dict(self._dirty),
+            {r: list(w) for r, w in self._memory.items()},
+            (self.cold_misses, self.capacity_recalls, self.memory_writebacks),
+        )
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        data, dirty, memory, counters = snap
+        self._data = OrderedDict((r, list(w)) for r, w in data.items())
+        self._dirty = dict(dirty)
+        self._memory = {r: list(w) for r, w in memory.items()}
+        self.cold_misses, self.capacity_recalls, self.memory_writebacks = counters
+
+    def canonical_state(self):
+        """Hashable presence/dirtiness summary (values live elsewhere).
+
+        The residency *order* matters only once capacity recalls engage;
+        model-check configurations keep the L2 far larger than the explored
+        working set, so sorted presence is canonical there.
+        """
+        return tuple(sorted(
+            (region, bool(self._dirty.get(region))) for region in self._data
+        ))
+
     def __len__(self) -> int:
         return len(self._data)

@@ -96,6 +96,16 @@ class Block:
         lo = inter.start - self.range.start
         return self.data[lo : lo + inter.width]
 
+    def clone(self) -> "Block":
+        """An independent copy (the model checker's snapshot/restore path)."""
+        dup = Block(self.region, self.range, self.state, list(self.data),
+                    self.miss_pc, self.miss_word)
+        dup.dirty_mask = self.dirty_mask
+        dup.touched_mask = self.touched_mask
+        dup.fetched_mask = self.fetched_mask
+        dup.last_use = self.last_use
+        return dup
+
     # -- bookkeeping -------------------------------------------------------
 
     @property

@@ -93,6 +93,34 @@ class FixedCache:
         self._bump(block)
         return victims
 
+    # -- model-checking hooks ----------------------------------------------
+
+    def snapshot(self):
+        """Opaque copy of the cache contents (blocks cloned both ways)."""
+        return ([[b.clone() for b in line] for line in self._sets], self._tick)
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        lines, tick = snap
+        self._sets = [[b.clone() for b in line] for line in lines]
+        self._tick = tick
+
+    def canonical_state(self):
+        """Hashable control-state summary: per set, blocks in LRU order.
+
+        Data values, touched/fetched masks, and absolute recency ticks are
+        excluded — they do not influence which transitions are possible,
+        only the statistics — so the model checker's state dedup is sound
+        and actually converges.
+        """
+        return tuple(
+            (index, tuple(
+                (b.region, b.range.as_tuple(), b.state.value, b.dirty_mask)
+                for b in sorted(line, key=lambda b: b.last_use)
+            ))
+            for index, line in enumerate(self._sets) if line
+        )
+
     def check_integrity(self) -> None:
         for index, line in enumerate(self._sets):
             if len(line) > self.ways:

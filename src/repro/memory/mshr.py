@@ -42,6 +42,21 @@ class MSHRFile:
     def is_busy(self, region: int) -> bool:
         return region in self._busy
 
+    def snapshot(self):
+        """Opaque copy of the outstanding-transaction set and counters."""
+        return (set(self._busy),
+                (self.allocations, self.cpu_blocking_events, self.coh_blocking_events))
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        busy, counters = snap
+        self._busy = set(busy)
+        self.allocations, self.cpu_blocking_events, self.coh_blocking_events = counters
+
+    def canonical_state(self):
+        """Hashable summary of the in-flight regions (empty between ops)."""
+        return tuple(sorted(self._busy))
+
     def note_multi_block(self, from_cpu: bool, blocks: int) -> None:
         """Record a multi-step CHECK/GATHER (Figure 3) of ``blocks`` blocks."""
         if blocks > 1:

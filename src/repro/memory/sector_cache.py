@@ -169,6 +169,53 @@ class SectorCache:
         block.last_use = self._tick
         return victims
 
+    # -- model-checking hooks ----------------------------------------------
+
+    def snapshot(self):
+        """Opaque copy of the cache contents (blocks cloned both ways)."""
+        return (
+            [
+                [(f.region, f.last_use, [b.clone() for b in f.blocks]) for f in line]
+                for line in self._sets
+            ],
+            self._tick,
+        )
+
+    def restore(self, snap) -> None:
+        """Reinstate a state captured by :meth:`snapshot`."""
+        lines, tick = snap
+        self._sets = []
+        for line in lines:
+            new_line: List[_SectorFrame] = []
+            for region, last_use, blocks in line:
+                frame = _SectorFrame(region)
+                frame.last_use = last_use
+                frame.blocks = [b.clone() for b in blocks]
+                new_line.append(frame)
+            self._sets.append(new_line)
+        self._tick = tick
+
+    def canonical_state(self):
+        """Hashable control-state summary: frames in LRU order.
+
+        Replacement is per *frame* here, so only the frames' relative
+        recency matters; each frame's sectors are listed sorted (their
+        in-frame order never affects behaviour).
+        """
+        return tuple(
+            (index, tuple(
+                (
+                    f.region,
+                    tuple(sorted(
+                        (b.range.as_tuple(), b.state.value, b.dirty_mask)
+                        for b in f.blocks
+                    )),
+                )
+                for f in sorted(line, key=lambda f: f.last_use)
+            ))
+            for index, line in enumerate(self._sets) if line
+        )
+
     # -- integrity ---------------------------------------------------------
 
     def check_integrity(self) -> None:

@@ -1,0 +1,83 @@
+"""Protocol model checking and differential verification (Section 3.6, as
+a subsystem).
+
+The paper argues Protozoa's correctness in three claims; this package
+turns each into machinery that can *fail*:
+
+1. an exhaustive bounded :class:`~repro.modelcheck.explorer.Explorer`
+   enumerating all interleavings of a small access alphabet with
+   invariant and value checking on, pruned by canonical state hashing;
+2. a :class:`~repro.modelcheck.differential.DifferentialChecker` proving
+   each Protozoa variant equivalent to MESI under fixed-granularity
+   predictions, transition for transition;
+3. a delta-debugging :func:`~repro.modelcheck.shrinker.shrink` that
+   minimizes any failing sequence to a replayable reproducer; and
+4. a mutation harness (:mod:`repro.modelcheck.mutants`) seeding known
+   coherence bugs to prove the battery detects them.
+
+Entry points: ``repro check`` on the command line, or
+:func:`~repro.modelcheck.runner.run_check` from code.
+"""
+
+from repro.modelcheck.differential import (
+    DiffResult,
+    DifferentialChecker,
+    Divergence,
+    observe,
+)
+from repro.modelcheck.explorer import (
+    Counterexample,
+    ExplorationResult,
+    Explorer,
+    modelcheck_config,
+)
+from repro.modelcheck.mutants import (
+    MUTANTS,
+    Mutant,
+    MutantResult,
+    audit,
+    build_mutant,
+    hunt,
+)
+from repro.modelcheck.ops import (
+    Op,
+    build_alphabet,
+    format_trace,
+    read_trace,
+    write_trace,
+)
+from repro.modelcheck.runner import CheckReport, run_check
+from repro.modelcheck.shrinker import (
+    ShrunkTrace,
+    failure_oracle,
+    shrink,
+    shrink_counterexample,
+)
+
+__all__ = [
+    "CheckReport",
+    "Counterexample",
+    "DiffResult",
+    "DifferentialChecker",
+    "Divergence",
+    "ExplorationResult",
+    "Explorer",
+    "MUTANTS",
+    "Mutant",
+    "MutantResult",
+    "Op",
+    "ShrunkTrace",
+    "audit",
+    "build_alphabet",
+    "build_mutant",
+    "failure_oracle",
+    "format_trace",
+    "hunt",
+    "modelcheck_config",
+    "observe",
+    "read_trace",
+    "run_check",
+    "shrink",
+    "shrink_counterexample",
+    "write_trace",
+]

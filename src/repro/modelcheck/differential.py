@@ -1,0 +1,216 @@
+"""Differential equivalence checking: Protozoa vs MESI, transition for
+transition.
+
+The paper's correctness claim (i), Section 3.6: *with fixed-granularity
+predictions, Protozoa's state transitions match MESI's exactly.*  This
+module turns that claim into an executable proof obligation.  A Protozoa
+variant is pinned to the whole-region predictor (so every miss requests
+the full region, the fixed-granularity degenerate case) and run in
+lock-step with a MESI reference on the same operation sequences; after
+each operation the two engines' *observables* are compared:
+
+* the miss classification (hit / read miss / write miss / upgrade),
+* the complete coherence message chain — type, source, destination, and
+  payload word count of every message, in emission order — modulo one
+  deliberate renaming: the overlap-aware protocols answer a probe they
+  survive with ``ACK-S`` ("invalidation acknowledged, still sharing")
+  where MESI answers ``ACK``; both are 8-byte control replies and the
+  directory lands in the same state, so the two labels are unified before
+  comparison, and
+* the resulting abstract machine state: with whole-region blocks the two
+  substrates produce directly comparable canonical keys, so "transitions
+  match" is checked literally — after every operation both engines must
+  occupy the *same* abstract state (L1 block sets, directory, L2).
+
+``run_exhaustive`` covers every sequence up to the depth bound, pruning on
+the *product* of the two engines' canonical state keys: once both engines
+have jointly revisited an abstract state pair, all extensions behave
+identically and need not be replayed.  Evict-pressure ops and tiny L1s are
+excluded here — the two substrates legitimately differ under capacity
+churn (the paper compares them at matched capacity, not matched geometry).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.params import PredictorKind, ProtocolKind
+from repro.modelcheck.explorer import modelcheck_config
+from repro.modelcheck.ops import Op, build_alphabet, format_trace
+from repro.system.machine import build_protocol
+
+Observation = Tuple[str, Tuple[tuple, ...]]  # (miss kind, message chain)
+
+
+def observe(protocol, op: Op) -> Observation:
+    """Apply ``op`` and record the observable behaviour it produced."""
+    events: List[tuple] = []
+    protocol.trace_hook = lambda mtype, src, dst, words: events.append(
+        (mtype.label, src, dst, words)
+    )
+    stats = protocol.stats
+    before = (stats.read_misses, stats.write_misses, stats.upgrade_misses)
+    try:
+        op.apply(protocol)
+    finally:
+        protocol.trace_hook = None
+    after = (stats.read_misses, stats.write_misses, stats.upgrade_misses)
+    if after[0] > before[0]:
+        kind = "read-miss"
+    elif after[1] > before[1]:
+        kind = "write-miss"
+    elif after[2] > before[2]:
+        kind = "upgrade"
+    else:
+        kind = "hit"
+    return kind, tuple(events)
+
+
+@dataclass
+class Divergence:
+    """The first operation where the two engines disagreed (or crashed)."""
+
+    ops: List[Op]  # full sequence ending in the diverging op
+    reference: str
+    variant: str
+    obs_reference: Optional[Observation] = None
+    obs_variant: Optional[Observation] = None
+    error: Optional[str] = None  # exception text if an engine raised instead
+
+    def pretty(self) -> str:
+        lines = [f"{self.reference} vs {self.variant} diverge:",
+                 format_trace(self.ops)]
+        if self.error is not None:
+            lines.append(f"  engine error: {self.error}")
+        else:
+            lines.append(f"  {self.reference}: {self.obs_reference}")
+            lines.append(f"  {self.variant}:  {self.obs_variant}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffResult:
+    """Coverage of one exhaustive differential run."""
+
+    reference: str
+    variant: str
+    depth: int
+    alphabet_size: int
+    states: int = 0
+    transitions: int = 0
+    elapsed: float = 0.0
+    divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+
+class DifferentialChecker:
+    """Lock-step MESI-vs-variant equivalence over bounded op sequences."""
+
+    def __init__(self, variant: ProtocolKind, cores: int = 2, regions: int = 1,
+                 depth: int = 6, alphabet: Optional[Sequence[Op]] = None,
+                 words: Sequence[int] = (0, 7), spans: Sequence[int] = (1,)):
+        if variant is ProtocolKind.MESI:
+            raise ValueError("differential checking compares a Protozoa "
+                             "variant against the MESI reference")
+        self.variant = variant
+        self.depth = depth
+        # Default (large) L1 geometry: the claim covers protocol
+        # transitions, not capacity behaviour, and the substrates differ
+        # legitimately once evictions engage.
+        self.ref_config = modelcheck_config(
+            ProtocolKind.MESI, cores, tiny_l1=False)
+        self.var_config = modelcheck_config(
+            variant, cores, predictor=PredictorKind.WHOLE_REGION, tiny_l1=False)
+        wpr = self.ref_config.words_per_region
+        self.alphabet = list(alphabet) if alphabet is not None else build_alphabet(
+            cores, regions, wpr, words=[w for w in words if w < wpr], spans=spans,
+        )
+
+    def _fresh_pair(self):
+        return build_protocol(self.ref_config), build_protocol(self.var_config)
+
+    def check_sequence(self, ops: Sequence[Op]) -> Optional[Divergence]:
+        """Replay one op sequence from scratch on both engines."""
+        ref, var = self._fresh_pair()
+        prefix: List[Op] = []
+        for op in ops:
+            prefix.append(op)
+            diff = self._step(ref, var, prefix, op)
+            if diff is not None:
+                return diff
+        return None
+
+    @staticmethod
+    def _normalize(obs: Observation) -> Observation:
+        """Unify the ACK / ACK-S labels (see module docstring)."""
+        kind, events = obs
+        return kind, tuple(
+            ("ACK" if label == "ACK-S" else label, src, dst, words)
+            for label, src, dst, words in events
+        )
+
+    def _step(self, ref, var, prefix: List[Op], op: Op) -> Optional[Divergence]:
+        names = (self.ref_config.protocol.value, self.var_config.protocol.value)
+        try:
+            obs_ref = observe(ref, op)
+            obs_var = observe(var, op)
+        except ReproError as exc:
+            return Divergence(ops=list(prefix), reference=names[0],
+                              variant=names[1],
+                              error=f"{type(exc).__name__}: {exc}")
+        if self._normalize(obs_ref) != self._normalize(obs_var):
+            return Divergence(ops=list(prefix), reference=names[0],
+                              variant=names[1],
+                              obs_reference=obs_ref, obs_variant=obs_var)
+        if ref.canonical_key() != var.canonical_key():
+            return Divergence(ops=list(prefix), reference=names[0],
+                              variant=names[1],
+                              error="abstract machine states diverge "
+                                    "(identical messages, different state)")
+        return None
+
+    def run_exhaustive(self) -> DiffResult:
+        """Cover every op sequence up to the depth bound (product-state BFS)."""
+        started = time.monotonic()
+        ref, var = self._fresh_pair()
+        result = DiffResult(
+            reference=self.ref_config.protocol.value,
+            variant=self.var_config.protocol.value,
+            depth=self.depth,
+            alphabet_size=len(self.alphabet),
+        )
+        initial = (ref.snapshot_state(), var.snapshot_state())
+        seen = {(ref.canonical_key(), var.canonical_key())}
+        frontier = [(initial, ())]
+        for _level in range(self.depth):
+            next_frontier = []
+            for (ref_snap, var_snap), path in frontier:
+                for op in self.alphabet:
+                    ref.restore_state(ref_snap)
+                    var.restore_state(var_snap)
+                    diff = self._step(ref, var, list(path) + [op], op)
+                    if diff is not None:
+                        result.divergence = diff
+                        result.states = len(seen)
+                        result.elapsed = time.monotonic() - started
+                        return result
+                    result.transitions += 1
+                    key = (ref.canonical_key(), var.canonical_key())
+                    if key not in seen:
+                        seen.add(key)
+                        next_frontier.append(
+                            ((ref.snapshot_state(), var.snapshot_state()),
+                             path + (op,))
+                        )
+            frontier = next_frontier
+            if not frontier:
+                break
+        result.states = len(seen)
+        result.elapsed = time.monotonic() - started
+        return result

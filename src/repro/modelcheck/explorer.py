@@ -1,0 +1,165 @@
+"""Bounded-exhaustive state-space exploration of the coherence protocols.
+
+The explorer enumerates *every* interleaving of a small operation alphabet
+(see :mod:`repro.modelcheck.ops`) up to a depth bound, over one protocol
+instance with invariant and value checking enabled.  Search is
+breadth-first over abstract states: after each operation the engine's
+canonical key (:func:`repro.coherence.snapshot.canonical_key`) is computed
+and already-visited states are pruned, so the frontier saturates instead
+of growing ``|alphabet|**depth``-fold.  Any
+:class:`~repro.common.errors.ReproError` raised along the way — SWMR
+broken, a stale value read, an illegal transition — becomes a
+counterexample carrying the exact operation sequence that reached it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.common.errors import ReproError
+from repro.common.params import (
+    CacheGeometry,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.modelcheck.ops import Op, build_alphabet, format_trace
+from repro.system.machine import build_protocol
+
+#: Byte budget that fits two whole-region Amoeba blocks (tag 8 + 64 data)
+#: in a single set — the third install must evict, which is exactly the
+#: capacity churn the evict-pressure ops are there to trigger.
+_TINY_SET_BYTES = 160
+
+
+def modelcheck_config(protocol: ProtocolKind, cores: int = 2, *,
+                      predictor: PredictorKind = PredictorKind.SINGLE_WORD,
+                      tiny_l1: bool = True, three_hop: bool = False,
+                      **overrides) -> SystemConfig:
+    """A small, fully-checked machine for bounded exploration.
+
+    ``tiny_l1`` shrinks every L1 to one set holding two region-sized
+    blocks, putting capacity evictions (WBACK / WBACK-LAST ordering,
+    stale-sharer NACKs) within reach of a depth-6 search.
+    """
+    geometry = (CacheGeometry(sets=1, set_bytes=_TINY_SET_BYTES, fixed_ways=2)
+                if tiny_l1 else CacheGeometry())
+    return SystemConfig(
+        protocol=protocol,
+        cores=cores,
+        predictor=predictor,
+        l1=geometry,
+        three_hop=three_hop,
+        check_invariants=True,
+        check_values=True,
+        **overrides,
+    )
+
+
+@dataclass
+class Counterexample:
+    """An operation sequence that provably breaks a protocol."""
+
+    ops: List[Op]
+    error: str  # exception class name
+    message: str
+
+    def pretty(self) -> str:
+        header = f"{self.error}: {self.message}"
+        return f"{header}\n{format_trace(self.ops)}"
+
+
+@dataclass
+class ExplorationResult:
+    """What one bounded search covered, and what (if anything) it found."""
+
+    protocol: str
+    depth: int
+    alphabet_size: int
+    states: int = 0
+    transitions: int = 0
+    elapsed: float = 0.0
+    counterexample: Optional[Counterexample] = None
+    frontier_truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+
+@dataclass
+class Explorer:
+    """Breadth-first bounded model checker for one protocol instance.
+
+    ``build`` overrides protocol construction (the mutation harness passes
+    factories producing deliberately broken engines); by default the
+    configured protocol is built through the standard machine assembly.
+    """
+
+    config: SystemConfig
+    alphabet: Sequence[Op] = ()
+    depth: int = 6
+    build: Optional[Callable[[], object]] = None
+    max_states: Optional[int] = None  # safety valve for big alphabets
+
+    def __post_init__(self):
+        self.config = replace(self.config, check_invariants=True, check_values=True)
+        if not self.alphabet:
+            self.alphabet = build_alphabet(
+                self.config.cores, 1, self.config.words_per_region,
+                words=(0, self.config.words_per_region - 1),
+                pressure_regions=1, pressure_stride=self.config.l1.sets,
+            )
+
+    def _make(self):
+        if self.build is not None:
+            return self.build()
+        return build_protocol(self.config)
+
+    def explore(self) -> ExplorationResult:
+        """Run the search; returns coverage plus the first counterexample."""
+        started = time.monotonic()
+        protocol = self._make()
+        result = ExplorationResult(
+            protocol=self.config.protocol.value,
+            depth=self.depth,
+            alphabet_size=len(self.alphabet),
+        )
+        initial = protocol.snapshot_state()
+        seen = {protocol.canonical_key()}
+        frontier = [(initial, ())]
+        for _level in range(self.depth):
+            next_frontier = []
+            for snap, path in frontier:
+                for op in self.alphabet:
+                    protocol.restore_state(snap)
+                    try:
+                        op.apply(protocol)
+                        protocol.check_all_invariants()
+                    except ReproError as exc:
+                        result.counterexample = Counterexample(
+                            ops=list(path) + [op],
+                            error=type(exc).__name__,
+                            message=str(exc),
+                        )
+                        result.states = len(seen)
+                        result.elapsed = time.monotonic() - started
+                        return result
+                    result.transitions += 1
+                    key = protocol.canonical_key()
+                    if key not in seen:
+                        seen.add(key)
+                        if self.max_states and len(seen) > self.max_states:
+                            result.frontier_truncated = True
+                        else:
+                            next_frontier.append(
+                                (protocol.snapshot_state(), path + (op,))
+                            )
+            frontier = next_frontier
+            if not frontier:
+                break
+        result.states = len(seen)
+        result.elapsed = time.monotonic() - started
+        return result

@@ -1,0 +1,133 @@
+"""Operation alphabets and replayable counterexample traces.
+
+The model checker explores sequences drawn from a small, fixed *alphabet*
+of memory operations — the classic recipe for protocol state-space
+exploration (2–3 cores, 1–2 regions, a couple of word offsets, plus
+evict-pressure accesses that force capacity churn).  Keeping the alphabet
+tiny is what makes bounded-exhaustive search tractable; the canonical
+state hashing in :mod:`repro.coherence.snapshot` does the rest.
+
+Counterexamples are saved as plain-text traces (one op per line, ``#``
+header lines carrying the machine parameters) so a failure found by the
+explorer — or shrunk from the random tester — can be replayed later with
+``repro check --replay FILE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, TextIO, Tuple
+
+from repro.common.addresses import WORD_BYTES
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Op:
+    """One memory operation of the exploration alphabet."""
+
+    core: int
+    kind: str  # "R" (load) or "W" (store)
+    region: int
+    word: int
+    span: int = 1  # words accessed, starting at ``word``
+    pressure: bool = False  # capacity-churn filler access (labelling only)
+
+    def __post_init__(self):
+        if self.kind not in ("R", "W"):
+            raise SimulationError(f"op kind must be R or W, got {self.kind!r}")
+        if self.core < 0 or self.region < 0 or self.word < 0 or self.span < 1:
+            raise SimulationError(f"malformed op {self!r}")
+
+    def addr(self, region_bytes: int) -> int:
+        return self.region * region_bytes + self.word * WORD_BYTES
+
+    def apply(self, protocol) -> int:
+        """Run this operation on a protocol engine; returns its latency."""
+        addr = self.addr(protocol.config.region_bytes)
+        size = self.span * WORD_BYTES
+        if self.kind == "W":
+            return protocol.write(self.core, addr, size, pc=self.core)
+        return protocol.read(self.core, addr, size, pc=self.core)
+
+    def pretty(self) -> str:
+        verb = "write" if self.kind == "W" else "read"
+        words = (f"word {self.word}" if self.span == 1
+                 else f"words {self.word}-{self.word + self.span - 1}")
+        note = "  (evict pressure)" if self.pressure else ""
+        return f"core {self.core}: {verb} R{self.region} {words}{note}"
+
+    def encode(self) -> str:
+        flag = " P" if self.pressure else ""
+        return f"{self.core} {self.kind} {self.region} {self.word} {self.span}{flag}"
+
+    @staticmethod
+    def decode(line: str) -> "Op":
+        fields = line.split()
+        if len(fields) not in (5, 6) or (len(fields) == 6 and fields[5] != "P"):
+            raise SimulationError(f"malformed trace line: {line!r}")
+        core, kind, region, word, span = fields[:5]
+        try:
+            return Op(int(core), kind, int(region), int(word), int(span),
+                      pressure=len(fields) == 6)
+        except ValueError:
+            raise SimulationError(f"malformed trace line: {line!r}")
+
+
+def build_alphabet(cores: int, regions: int, words_per_region: int, *,
+                   words: Sequence[int] = (0,), spans: Sequence[int] = (1,),
+                   pressure_regions: int = 0,
+                   pressure_stride: int = 1) -> List[Op]:
+    """The exploration alphabet for a small machine.
+
+    Every core gets a read and a write of each (word, span) offset in each
+    shared region, plus ``pressure_regions`` extra read-only regions placed
+    ``pressure_stride`` apart (set the stride to the L1 set count to force
+    every filler into one set and exercise WBACK/WBACK-LAST ordering).
+    """
+    alphabet: List[Op] = []
+    for core in range(cores):
+        for region in range(regions):
+            for word in words:
+                for span in spans:
+                    if word + span > words_per_region:
+                        continue
+                    alphabet.append(Op(core, "R", region, word, span))
+                    alphabet.append(Op(core, "W", region, word, span))
+    for k in range(pressure_regions):
+        region = regions + k * max(pressure_stride, 1)
+        for core in range(cores):
+            alphabet.append(Op(core, "R", region, 0, 1, pressure=True))
+    return alphabet
+
+
+def format_trace(ops: Iterable[Op]) -> str:
+    """Human-readable numbered listing of an op sequence."""
+    return "\n".join(f"  {i + 1}. {op.pretty()}" for i, op in enumerate(ops))
+
+
+def write_trace(ops: Sequence[Op], fh: TextIO, meta: Dict[str, str]) -> None:
+    """Write a replayable counterexample trace with ``meta`` header lines."""
+    fh.write("# repro modelcheck counterexample\n")
+    for key, value in meta.items():
+        fh.write(f"# {key}: {value}\n")
+    for op in ops:
+        fh.write(op.encode() + "\n")
+
+
+def read_trace(fh: TextIO) -> Tuple[Dict[str, str], List[Op]]:
+    """Parse a trace written by :func:`write_trace`."""
+    meta: Dict[str, str] = {}
+    ops: List[Op] = []
+    for raw in fh:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("#").strip()
+            if ":" in body:
+                key, value = body.split(":", 1)
+                meta[key.strip()] = value.strip()
+            continue
+        ops.append(Op.decode(line))
+    return meta, ops

@@ -1,0 +1,122 @@
+"""Orchestration for ``repro check``: run the full verification battery.
+
+Three passes per invocation (selectable via ``mode``):
+
+* **explore** — bounded-exhaustive search of each protocol with invariant
+  and value checking; any violation is shrunk and reported;
+* **diff** — exhaustive differential equivalence of each Protozoa variant
+  (pinned to whole-region predictions) against MESI;
+* **mutants** — the seeded-bug audit: every registered mutant must be
+  detected and its counterexample shrunk to a short reproducer.
+
+``run_check`` returns a :class:`CheckReport` that knows how to print
+itself and whether the battery passed; the CLI and the CI smoke target
+are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, TextIO
+
+from repro.common.params import ProtocolKind
+from repro.modelcheck.differential import DiffResult, DifferentialChecker
+from repro.modelcheck.explorer import (
+    ExplorationResult,
+    Explorer,
+    modelcheck_config,
+)
+from repro.modelcheck.mutants import MutantResult, audit
+from repro.modelcheck.ops import build_alphabet
+from repro.modelcheck.shrinker import ShrunkTrace, shrink_counterexample
+from repro.system.machine import build_protocol
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` invocation covered and concluded."""
+
+    explorations: List[ExplorationResult] = field(default_factory=list)
+    diffs: List[DiffResult] = field(default_factory=list)
+    mutant_results: List[MutantResult] = field(default_factory=list)
+    shrunk: List[ShrunkTrace] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (all(r.ok for r in self.explorations)
+                and all(d.ok for d in self.diffs)
+                and all(m.detected for m in self.mutant_results))
+
+    def render(self, out: TextIO) -> None:
+        if self.explorations:
+            out.write("bounded exploration (invariants + value checking):\n")
+            for r in self.explorations:
+                verdict = "ok" if r.ok else "VIOLATION"
+                out.write(f"  {r.protocol:>15}: {verdict:>9}  depth {r.depth}, "
+                          f"{r.states} states, {r.transitions} transitions, "
+                          f"{r.elapsed:.1f}s\n")
+        if self.diffs:
+            out.write("differential vs MESI (whole-region predictions):\n")
+            for d in self.diffs:
+                verdict = "equivalent" if d.ok else "DIVERGED"
+                out.write(f"  {d.variant:>15}: {verdict:>9}  depth {d.depth}, "
+                          f"{d.states} product states, {d.transitions} "
+                          f"transitions, {d.elapsed:.1f}s\n")
+                if not d.ok:
+                    out.write(d.divergence.pretty() + "\n")
+        if self.mutant_results:
+            out.write("mutation audit (every seeded bug must be caught):\n")
+            for m in self.mutant_results:
+                if m.detected:
+                    out.write(f"  {m.protocol:>15} {m.mutant:<22} detected, "
+                              f"shrunk to {m.shrunk_length} ops\n")
+                else:
+                    out.write(f"  {m.protocol:>15} {m.mutant:<22} MISSED "
+                              f"({m.states} states explored)\n")
+        for trace in self.shrunk:
+            out.write(trace.pretty() + "\n")
+        out.write("RESULT: " + ("PASS" if self.ok else "FAIL") + "\n")
+
+
+def run_check(protocols: Optional[Sequence[ProtocolKind]] = None, *,
+              cores: int = 2, regions: int = 1, depth: int = 6,
+              pressure_regions: int = 1, mode: str = "all",
+              mutant_depth: int = 4) -> CheckReport:
+    """Run the selected verification passes over the selected protocols."""
+    kinds = list(protocols) if protocols else list(ProtocolKind)
+    report = CheckReport()
+
+    if mode in ("all", "explore"):
+        for kind in kinds:
+            config = modelcheck_config(kind, cores)
+            alphabet = build_alphabet(
+                cores, regions, config.words_per_region,
+                words=(0, config.words_per_region - 1),
+                pressure_regions=pressure_regions,
+                pressure_stride=config.l1.sets,
+            )
+            outcome = Explorer(config, alphabet=alphabet, depth=depth).explore()
+            report.explorations.append(outcome)
+            if outcome.counterexample is not None:
+                report.shrunk.append(shrink_counterexample(
+                    outcome.counterexample.ops,
+                    lambda config=config: build_protocol(config),
+                    kind.value,
+                    extra_meta={"cores": str(cores), "source": "explorer"},
+                ))
+
+    if mode in ("all", "diff"):
+        for kind in kinds:
+            if kind is ProtocolKind.MESI:
+                continue
+            checker = DifferentialChecker(kind, cores=cores, regions=regions,
+                                          depth=depth)
+            report.diffs.append(checker.run_exhaustive())
+
+    if mode in ("all", "mutants"):
+        for kind in kinds:
+            report.mutant_results.extend(
+                audit(kind, cores=cores, depth=mutant_depth)
+            )
+
+    return report

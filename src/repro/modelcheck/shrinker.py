@@ -1,0 +1,117 @@
+"""Counterexample minimization (delta debugging).
+
+A failing operation sequence — from the bounded explorer, the differential
+checker, or a long random-tester run — is rarely minimal: most of its
+operations are noise that happened to precede the two or three that
+actually corner the protocol.  This module reduces any failing sequence to
+a *1-minimal* reproducer (no single operation can be removed and still
+fail) with the classic ddmin chunk-removal loop, then packages it as a
+pretty-printable, replayable :class:`ShrunkTrace`.
+
+The oracle contract: a callable taking an op sequence and returning True
+when the sequence still exhibits the failure.  :func:`failure_oracle`
+builds the common case — "a fresh engine raises a ReproError somewhere
+along the sequence" — from a protocol factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
+
+from repro.common.errors import ReproError, SimulationError
+from repro.modelcheck.ops import Op, format_trace, write_trace
+
+Oracle = Callable[[Sequence[Op]], bool]
+
+
+def failure_oracle(build: Callable[[], object],
+                   check_every_op: bool = True) -> Oracle:
+    """An oracle that replays ops on a fresh engine and watches for raises."""
+
+    def oracle(ops: Sequence[Op]) -> bool:
+        protocol = build()
+        try:
+            for op in ops:
+                op.apply(protocol)
+                if check_every_op:
+                    protocol.check_all_invariants()
+            protocol.check_all_invariants()
+        except ReproError:
+            return True
+        return False
+
+    return oracle
+
+
+def shrink(ops: Sequence[Op], oracle: Oracle) -> List[Op]:
+    """ddmin: reduce ``ops`` to a 1-minimal sequence still failing ``oracle``.
+
+    Raises :class:`SimulationError` if the input does not fail to begin
+    with — a silent "shrink" of a passing sequence would hide a harness
+    bug.
+    """
+    current = list(ops)
+    if not oracle(current):
+        raise SimulationError("shrink() called on a non-failing sequence")
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and oracle(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(granularity * 2, len(current))
+    return current
+
+
+@dataclass
+class ShrunkTrace:
+    """A minimized counterexample, ready to print or save for replay."""
+
+    ops: List[Op]
+    error: str
+    message: str
+    protocol: str
+    extra_meta: Dict[str, str] = field(default_factory=dict)
+
+    def pretty(self) -> str:
+        lines = [f"{self.error}: {self.message}",
+                 f"minimal reproducer ({len(self.ops)} ops, {self.protocol}):",
+                 format_trace(self.ops)]
+        return "\n".join(lines)
+
+    def save(self, fh: TextIO) -> None:
+        meta = {"protocol": self.protocol, "error": self.error,
+                "message": self.message}
+        meta.update(self.extra_meta)
+        write_trace(self.ops, fh, meta)
+
+
+def shrink_counterexample(ops: Sequence[Op], build: Callable[[], object],
+                          protocol_name: str,
+                          extra_meta: Optional[Dict[str, str]] = None) -> ShrunkTrace:
+    """Shrink a raising op sequence and capture the final error it triggers."""
+    oracle = failure_oracle(build)
+    minimal = shrink(ops, oracle)
+    # Replay once more to harvest the exact error the minimal trace raises.
+    protocol = build()
+    error, message = "ReproError", "failure did not reproduce on final replay"
+    try:
+        for op in minimal:
+            op.apply(protocol)
+            protocol.check_all_invariants()
+        protocol.check_all_invariants()
+    except ReproError as exc:
+        error, message = type(exc).__name__, str(exc)
+    return ShrunkTrace(ops=minimal, error=error, message=message,
+                       protocol=protocol_name, extra_meta=dict(extra_meta or {}))

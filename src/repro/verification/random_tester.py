@@ -40,6 +40,8 @@ class TesterReport:
     def coverage(self) -> Dict[str, int]:
         return {
             "accesses": self.accesses,
+            "reads": self.reads,
+            "writes": self.writes,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "nacks": self.nacks,

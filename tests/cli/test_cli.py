@@ -52,6 +52,41 @@ class TestCommands:
         assert rc == 0
         assert "OK" in capsys.readouterr().out
 
+    def test_verify_seed_sweep(self, capsys):
+        rc = main(["verify", "--protocol", "mesi", "--accesses", "200",
+                   "--cores", "2", "--seeds", "2", "--same-set",
+                   "--max-span", "2", "--check-every", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed 0" in out and "seed 1" in out
+        assert "'reads'" in out and "'writes'" in out
+
+    def test_check(self, capsys):
+        rc = main(["check", "--protocol", "mesi", "--depth", "3",
+                   "--mutant-depth", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RESULT: PASS" in out
+        assert "bounded exploration" in out
+        assert "mutation audit" in out
+        assert "detected" in out
+
+    def test_check_diff_mode(self, capsys):
+        rc = main(["check", "--protocol", "mw", "--mode", "diff",
+                   "--depth", "3"])
+        assert rc == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_check_save_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "counterexample.txt"
+        rc = main(["check", "--protocol", "sw", "--mode", "mutants",
+                   "--mutant-depth", "3", "--save", str(trace)])
+        assert rc == 0
+        assert trace.exists()
+        rc = main(["check", "--replay", str(trace)])
+        assert rc == 0
+        assert "reproduced" in capsys.readouterr().out
+
     def test_trace_and_replay(self, tmp_path, capsys):
         trace = tmp_path / "t.trace"
         rc = main(["trace", "--workload", "kmeans", "--out", str(trace),

@@ -1,0 +1,117 @@
+"""Every ``check_region`` raise site, hit by direct state corruption.
+
+``tests/coherence/test_invariants.py`` proves the checker raises; these
+tests pin each *distinct* failure path to its exact message, so a
+refactor that silently drops one of the checks fails loudly here.
+"""
+
+import pytest
+
+from repro.common.errors import InvariantViolation
+from repro.common.params import ProtocolKind
+from repro.common.wordrange import WordRange
+from repro.memory.block import Block, LineState
+
+from tests.conftest import make_engine
+
+REGION = 16
+
+
+def plant(p, core, start, end, state):
+    """Force a block into an L1 behind the protocol's back."""
+    rng = WordRange(start, end)
+    block = Block(REGION, rng, state, [0] * rng.width)
+    p.l1s[core].insert(block, lambda v: None)
+    return block
+
+
+class TestWordLevelSWMR:
+    def test_two_writable_holders_of_one_word(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 0, 3, 3, LineState.M)
+        plant(p, 1, 3, 3, LineState.M)
+        with pytest.raises(InvariantViolation,
+                           match=r"writable at cores 0 and 1"):
+            p.check_region_invariants(REGION)
+
+    def test_writable_word_cached_elsewhere(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 0, 3, 3, LineState.M)
+        plant(p, 1, 3, 3, LineState.S)
+        entry = p.directory.entry(REGION)
+        entry.writers.add(0)
+        entry.readers.add(1)
+        with pytest.raises(InvariantViolation,
+                           match=r"writable at 0 but cached at \[0, 1\]"):
+            p.check_region_invariants(REGION)
+
+
+class TestRegionLevelSWMR:
+    def test_exclusive_plus_disjoint_sharer(self):
+        # Disjoint words are fine under MW but illegal for region-granularity
+        # protocols, where an exclusive region admits no other sharer.
+        p = make_engine(ProtocolKind.PROTOZOA_SW)
+        plant(p, 0, 0, 0, LineState.M)
+        plant(p, 1, 7, 7, LineState.S)
+        entry = p.directory.entry(REGION)
+        entry.writers.add(0)
+        entry.readers.add(1)
+        with pytest.raises(InvariantViolation,
+                           match=r"region-level SWMR broken"):
+            p.check_region_invariants(REGION)
+
+    def test_two_exclusive_holders(self):
+        p = make_engine(ProtocolKind.MESI)
+        plant(p, 0, 0, 0, LineState.E)
+        plant(p, 1, 7, 7, LineState.E)
+        entry = p.directory.entry(REGION)
+        entry.writers.update({0, 1})
+        with pytest.raises(InvariantViolation,
+                           match=r"multiple exclusive holders \[0, 1\]"):
+            p.check_region_invariants(REGION)
+
+
+class TestDirectoryTracking:
+    def test_untracked_sharer(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 2, 0, 0, LineState.S)
+        with pytest.raises(
+                InvariantViolation,
+                match=r"cores \[2\] cache blocks but are untracked"):
+            p.check_region_invariants(REGION)
+
+    def test_exclusive_holder_not_in_writers(self):
+        p = make_engine(ProtocolKind.PROTOZOA_MW)
+        plant(p, 2, 0, 0, LineState.E)
+        p.directory.entry(REGION).readers.add(2)  # tracked, but as a reader
+        with pytest.raises(InvariantViolation,
+                           match=r"exclusive holders \[2\] not in writers"):
+            p.check_region_invariants(REGION)
+
+    def test_multiple_writers_tracked_outside_mw(self):
+        # Directory-only corruption: no L1 blocks at all, so every earlier
+        # check passes and the writer-arity check is what fires.
+        p = make_engine(ProtocolKind.PROTOZOA_SW_MR)
+        p.directory.entry(REGION).writers.update({0, 1})
+        with pytest.raises(InvariantViolation,
+                           match=r"tracked multiple writers \[0, 1\]"):
+            p.check_region_invariants(REGION)
+
+    def test_writer_alongside_sharers_under_sw(self):
+        p = make_engine(ProtocolKind.PROTOZOA_SW)
+        entry = p.directory.entry(REGION)
+        entry.writers.add(0)
+        entry.readers.add(1)
+        with pytest.raises(
+                InvariantViolation,
+                match=r"tracks writer \[0\] with other sharers \[1\]"):
+            p.check_region_invariants(REGION)
+
+    def test_writer_alongside_sharers_under_mesi(self):
+        p = make_engine(ProtocolKind.MESI)
+        entry = p.directory.entry(REGION)
+        entry.writers.add(0)
+        entry.readers.add(2)
+        with pytest.raises(InvariantViolation,
+                           match=r"tracks writer \[0\] with other sharers \[2\]"):
+            p.check_region_invariants(REGION)

@@ -1,0 +1,73 @@
+"""Tests for the MESI-vs-Protozoa differential equivalence checker."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.modelcheck.differential import DifferentialChecker, observe
+from repro.modelcheck.mutants import MUTANTS
+from repro.modelcheck.ops import Op
+
+from tests.conftest import make_engine
+
+
+class TestObserve:
+    def test_classifies_misses_and_hits(self):
+        p = make_engine(ProtocolKind.MESI, cores=2)
+        kind, events = observe(p, Op(0, "R", 0, 0))
+        assert kind == "read-miss"
+        assert events  # the miss produced coherence messages
+        kind, _ = observe(p, Op(0, "R", 0, 0))
+        assert kind == "hit"
+        kind, _ = observe(p, Op(1, "R", 0, 0))
+        assert kind == "read-miss"  # downgrades both copies to S
+        kind, _ = observe(p, Op(0, "W", 0, 0))
+        assert kind == "upgrade"  # S -> M needs permission, not data
+        kind, _ = observe(p, Op(1, "W", 0, 0))
+        assert kind == "write-miss"
+
+    def test_hook_removed_afterwards(self):
+        p = make_engine(ProtocolKind.MESI, cores=2)
+        observe(p, Op(0, "R", 0, 0))
+        assert p.trace_hook is None
+
+
+class TestDifferentialChecker:
+    def test_mesi_vs_mesi_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialChecker(ProtocolKind.MESI)
+
+    def test_variants_equivalent_exhaustively(self, protozoa_kind):
+        checker = DifferentialChecker(protozoa_kind, depth=3)
+        result = checker.run_exhaustive()
+        assert result.ok, result.divergence and result.divergence.pretty()
+        assert result.reference == "mesi"
+        assert result.states > 1
+        assert result.transitions > 0
+
+    def test_check_sequence_clean(self):
+        checker = DifferentialChecker(ProtocolKind.PROTOZOA_MW, depth=3)
+        ops = [Op(0, "W", 0, 0), Op(1, "R", 0, 0), Op(1, "W", 0, 0),
+               Op(0, "R", 0, 0)]
+        assert checker.check_sequence(ops) is None
+
+    def test_seeded_bug_diverges(self, monkeypatch):
+        """A mutated variant must be flagged against the MESI reference."""
+        from repro.system import machine
+
+        broken = MUTANTS["skip-invalidation"].mutate(
+            machine._PROTOCOLS[ProtocolKind.PROTOZOA_MW])
+        monkeypatch.setitem(machine._PROTOCOLS, ProtocolKind.PROTOZOA_MW, broken)
+        checker = DifferentialChecker(ProtocolKind.PROTOZOA_MW, depth=2)
+        result = checker.run_exhaustive()
+        assert not result.ok
+        text = result.divergence.pretty()
+        assert "mesi" in text and "protozoa-mw" in text
+
+    def test_divergence_pretty_shows_both_observations(self):
+        from repro.modelcheck.differential import Divergence
+        div = Divergence(ops=[Op(0, "W", 0, 0)], reference="mesi",
+                         variant="protozoa-sw",
+                         obs_reference=("write-miss", ()),
+                         obs_variant=("hit", ()))
+        text = div.pretty()
+        assert "write-miss" in text and "hit" in text

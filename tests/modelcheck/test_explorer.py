@@ -1,0 +1,67 @@
+"""Tests for the bounded-exhaustive explorer."""
+
+from repro.common.params import ProtocolKind
+from repro.modelcheck.explorer import Explorer, modelcheck_config
+from repro.modelcheck.mutants import build_mutant
+from repro.modelcheck.ops import build_alphabet
+
+
+class TestModelcheckConfig:
+    def test_checks_forced_on(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        assert config.check_invariants and config.check_values
+
+    def test_tiny_l1_geometry(self):
+        config = modelcheck_config(ProtocolKind.PROTOZOA_MW)
+        assert config.l1.sets == 1
+        big = modelcheck_config(ProtocolKind.PROTOZOA_MW, tiny_l1=False)
+        assert big.l1.sets > 1
+
+
+class TestExplorer:
+    def test_clean_protocol_passes(self, any_kind):
+        config = modelcheck_config(any_kind)
+        result = Explorer(config, depth=3).explore()
+        assert result.ok
+        assert result.counterexample is None
+        assert result.states > 1
+        assert result.transitions >= result.states - 1
+        assert not result.frontier_truncated
+
+    def test_dedup_prunes_revisits(self):
+        """Transitions vastly outnumber distinct states: dedup is working."""
+        config = modelcheck_config(ProtocolKind.MESI)
+        result = Explorer(config, depth=3).explore()
+        assert result.transitions > result.states
+
+    def test_depth_zero_covers_only_initial_state(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        result = Explorer(config, depth=0).explore()
+        assert result.states == 1
+        assert result.transitions == 0
+
+    def test_max_states_truncates(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        result = Explorer(config, depth=3, max_states=2).explore()
+        assert result.frontier_truncated
+        assert result.ok  # truncation is coverage loss, not a failure
+
+    def test_finds_seeded_bug(self, any_kind):
+        config = modelcheck_config(any_kind)
+        explorer = Explorer(
+            config, depth=3,
+            build=lambda: build_mutant("skip-invalidation", config),
+        )
+        result = explorer.explore()
+        assert not result.ok
+        ce = result.counterexample
+        assert ce is not None and len(ce.ops) <= 3
+        assert "InvariantViolation" in ce.error or "ProtocolError" in ce.error
+        assert "core" in ce.pretty()
+
+    def test_custom_alphabet_respected(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        alphabet = build_alphabet(2, 1, config.words_per_region)
+        result = Explorer(config, alphabet=alphabet, depth=2).explore()
+        assert result.alphabet_size == len(alphabet) == 4
+        assert result.ok

@@ -1,0 +1,81 @@
+"""Tests for the operation alphabet and replayable trace format."""
+
+import io
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.modelcheck.ops import (
+    Op,
+    build_alphabet,
+    format_trace,
+    read_trace,
+    write_trace,
+)
+
+
+class TestOp:
+    def test_addr(self):
+        assert Op(0, "R", 3, 2).addr(region_bytes=64) == 3 * 64 + 2 * 8
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            Op(0, "X", 0, 0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(SimulationError):
+            Op(-1, "R", 0, 0)
+        with pytest.raises(SimulationError):
+            Op(0, "W", 0, 0, span=0)
+
+    def test_encode_decode_roundtrip(self):
+        for op in (Op(1, "W", 2, 3, span=2),
+                   Op(0, "R", 5, 0, pressure=True)):
+            assert Op.decode(op.encode()) == op
+
+    def test_decode_malformed(self):
+        for line in ("1 W 2", "1 W 2 3 4 Q", "a W 0 0 1"):
+            with pytest.raises(SimulationError):
+                Op.decode(line)
+
+    def test_pretty_mentions_span_and_pressure(self):
+        assert "words 2-3" in Op(0, "W", 0, 2, span=2).pretty()
+        assert "evict pressure" in Op(0, "R", 9, 0, pressure=True).pretty()
+
+
+class TestAlphabet:
+    def test_counts(self):
+        # 2 cores x 1 region x 2 words x {R, W} = 8, plus 2 pressure reads.
+        alphabet = build_alphabet(2, 1, 8, words=(0, 7),
+                                  pressure_regions=1, pressure_stride=4)
+        assert len(alphabet) == 10
+        pressure = [op for op in alphabet if op.pressure]
+        assert len(pressure) == 2
+        assert all(op.kind == "R" for op in pressure)
+        assert {op.region for op in pressure} == {1}  # regions + 0 * stride
+
+    def test_pressure_stride_spaces_regions(self):
+        alphabet = build_alphabet(1, 2, 8, pressure_regions=2,
+                                  pressure_stride=16)
+        assert {op.region for op in alphabet if op.pressure} == {2, 18}
+
+    def test_spans_exceeding_region_skipped(self):
+        alphabet = build_alphabet(1, 1, 8, words=(7,), spans=(1, 2))
+        assert all(op.word + op.span <= 8 for op in alphabet)
+
+
+class TestTraceFormat:
+    def test_roundtrip_with_meta(self):
+        ops = [Op(0, "W", 0, 0), Op(1, "R", 0, 0, span=2, pressure=True)]
+        buf = io.StringIO()
+        write_trace(ops, buf, {"protocol": "mesi", "cores": "2"})
+        buf.seek(0)
+        meta, parsed = read_trace(buf)
+        assert parsed == ops
+        assert meta["protocol"] == "mesi"
+        assert meta["cores"] == "2"
+
+    def test_format_trace_numbers_lines(self):
+        text = format_trace([Op(0, "R", 0, 0), Op(1, "W", 0, 0)])
+        assert "1. core 0: read" in text
+        assert "2. core 1: write" in text

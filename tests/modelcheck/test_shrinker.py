@@ -1,0 +1,86 @@
+"""Tests for delta-debugging counterexample minimization."""
+
+import io
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.params import ProtocolKind
+from repro.modelcheck.explorer import modelcheck_config
+from repro.modelcheck.mutants import build_mutant
+from repro.modelcheck.ops import Op, read_trace
+from repro.modelcheck.shrinker import (
+    failure_oracle,
+    shrink,
+    shrink_counterexample,
+)
+
+W0 = Op(0, "W", 0, 0)
+R1 = Op(1, "R", 0, 0)
+# Noise kept on core 1 and other regions: the model-check L1 is tiny (one
+# set), and core-0 noise would evict W0's dirty block — the eviction path
+# writes back correctly even in the ack-before-writeback mutant, which
+# would defuse the real failure the end-to-end tests rely on.
+NOISE = [Op(1, "R", 1, 0), Op(1, "R", 2, 0), Op(1, "R", 3, 0),
+         Op(1, "R", 1, 0), Op(1, "R", 4, 0)]
+
+
+class TestShrink:
+    def test_reduces_to_the_failing_core(self):
+        # Synthetic oracle: fails iff both W0 and R1 survive, in that order.
+        def oracle(ops):
+            ops = list(ops)
+            return (W0 in ops and R1 in ops
+                    and ops.index(W0) < ops.index(R1))
+
+        padded = NOISE[:3] + [W0] + NOISE[3:] + [R1]
+        assert shrink(padded, oracle) == [W0, R1]
+
+    def test_one_minimal_result(self):
+        def oracle(ops):
+            return len(ops) >= 3  # any 3 ops fail
+
+        assert len(shrink(NOISE, oracle)) == 3
+
+    def test_rejects_passing_input(self):
+        with pytest.raises(SimulationError):
+            shrink(NOISE, lambda ops: False)
+
+    def test_single_op_failure(self):
+        assert shrink([W0], lambda ops: True) == [W0]
+
+
+class TestFailureOracle:
+    def test_detects_mutant_failure(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        oracle = failure_oracle(
+            lambda: build_mutant("ack-before-writeback", config))
+        assert oracle([W0, R1])      # stale read trips the value checker
+        assert not oracle([W0])      # a lone write is still coherent
+
+
+class TestShrinkCounterexample:
+    def test_end_to_end(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        build = lambda: build_mutant("ack-before-writeback", config)
+        trace = shrink_counterexample(
+            NOISE[:2] + [W0] + NOISE[2:] + [R1], build, "mesi",
+            extra_meta={"mutant": "ack-before-writeback"},
+        )
+        assert len(trace.ops) == 2
+        assert trace.error == "InvariantViolation"
+        assert "minimal reproducer" in trace.pretty()
+
+    def test_save_roundtrips_through_trace_format(self):
+        config = modelcheck_config(ProtocolKind.MESI)
+        build = lambda: build_mutant("ack-before-writeback", config)
+        trace = shrink_counterexample([W0, R1], build, "mesi",
+                                      extra_meta={"mutant": "ack-before-writeback"})
+        buf = io.StringIO()
+        trace.save(buf)
+        buf.seek(0)
+        meta, ops = read_trace(buf)
+        assert ops == trace.ops
+        assert meta["protocol"] == "mesi"
+        assert meta["mutant"] == "ack-before-writeback"
+        assert meta["error"] == "InvariantViolation"

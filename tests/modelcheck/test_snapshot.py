@@ -1,0 +1,92 @@
+"""Tests for protocol snapshot/restore and canonical state hashing."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.params import PredictorKind, ProtocolKind
+from repro.system.machine import build_protocol
+
+from tests.conftest import make_engine, region_addr
+
+
+def drive(p):
+    """A short workload touching sharing, upgrades, and dirty data."""
+    p.write(0, region_addr(0, 0))
+    p.read(1, region_addr(0, 0))
+    p.read(1, region_addr(0, 7))
+    p.write(1, region_addr(1, 3))
+    p.read(0, region_addr(1, 3))
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_restores_canonical_key(self, any_kind):
+        p = make_engine(any_kind, cores=2)
+        drive(p)
+        key = p.canonical_key()
+        snap = p.snapshot_state()
+        # Diverge: more traffic, then rewind.
+        p.write(0, region_addr(2, 5))
+        p.write(1, region_addr(0, 0))
+        assert p.canonical_key() != key
+        p.restore_state(snap)
+        assert p.canonical_key() == key
+        p.check_all_invariants()
+
+    def test_restore_replays_identically(self, any_kind):
+        """After restore, the same op must produce the same abstract state."""
+        p = make_engine(any_kind, cores=2)
+        drive(p)
+        snap = p.snapshot_state()
+        p.write(1, region_addr(0, 0))
+        key_once = p.canonical_key()
+        p.restore_state(snap)
+        p.write(1, region_addr(0, 0))
+        assert p.canonical_key() == key_once
+
+    def test_snapshot_is_deep(self, any_kind):
+        """Mutating the engine must not corrupt an existing snapshot."""
+        p = make_engine(any_kind, cores=2)
+        p.write(0, region_addr(0, 0))
+        key = p.canonical_key()
+        snap = p.snapshot_state()
+        drive(p)
+        p.restore_state(snap)
+        assert p.canonical_key() == key
+
+    def test_fresh_engines_share_initial_key(self, any_kind):
+        a = make_engine(any_kind, cores=2)
+        b = make_engine(any_kind, cores=2)
+        assert a.canonical_key() == b.canonical_key()
+
+
+class TestCanonicalKey:
+    def test_key_ignores_value_details_but_sees_staleness(self):
+        p = make_engine(ProtocolKind.MESI, cores=2)
+        p.write(0, region_addr(0, 0))
+        clean = p.canonical_key()
+        block = p.l1s[0].peek(0, 0)
+        block.data[0] = 424242  # diverge from the golden image
+        assert p.canonical_key() != clean  # stale signature changed
+
+    def test_key_is_hashable(self, any_kind):
+        p = make_engine(any_kind, cores=2)
+        drive(p)
+        assert {p.canonical_key()}  # must go into a set without error
+
+
+class TestSnapshotSafety:
+    def test_pc_history_rejected_on_adaptive(self):
+        config = dict(cores=2, predictor=PredictorKind.PC_HISTORY)
+        p = make_engine(ProtocolKind.PROTOZOA_MW, **config)
+        with pytest.raises(ConfigError):
+            p.snapshot_state()
+
+    def test_pc_history_fine_on_mesi(self):
+        p = make_engine(ProtocolKind.MESI, cores=2,
+                        predictor=PredictorKind.PC_HISTORY)
+        p.snapshot_state()  # MESI ignores the predictor entirely
+
+    def test_stateless_predictors_accepted(self, protozoa_kind):
+        for predictor in (PredictorKind.SINGLE_WORD, PredictorKind.WHOLE_REGION):
+            p = make_engine(protozoa_kind, cores=2, predictor=predictor)
+            p.snapshot_state()

@@ -9,12 +9,15 @@ from repro.verification.random_tester import RandomTester, TesterReport
 
 class TestReport:
     def test_coverage_keys(self):
-        report = TesterReport(accesses=5, misses=2)
+        report = TesterReport(accesses=5, reads=3, writes=2, misses=2)
         cov = report.coverage()
         assert cov["accesses"] == 5
+        assert cov["reads"] == 3
+        assert cov["writes"] == 2
         assert cov["misses"] == 2
-        assert set(cov) == {"accesses", "misses", "invalidations", "nacks",
-                            "writebacks", "evictions", "multi_block_snoops"}
+        assert set(cov) == {"accesses", "reads", "writes", "misses",
+                            "invalidations", "nacks", "writebacks",
+                            "evictions", "multi_block_snoops"}
 
 
 class TestTester:
