@@ -16,6 +16,18 @@ import pytest
 from repro.experiments.runner import ExperimentSettings, ResultMatrix
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Benchmarks must time real simulations, not disk-cache hits."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def bench_settings() -> ExperimentSettings:
     per_core = int(os.environ.get("REPRO_SCALE", "800"))
     names = os.environ.get("REPRO_WORKLOADS", "")

@@ -6,10 +6,15 @@ Commands
 ``run``       simulate one workload under one protocol, print the summary
 ``compare``   one workload under all four protocols, side by side
 ``report``    regenerate the full evaluation (all tables and figures)
+``bench``     time cold/warm sweeps + the hot path; write BENCH_protozoa.json
 ``verify``    the paper's random protocol tester with full checking
 ``check``     bounded-exhaustive model checking + differential verification
 ``trace``     dump a workload's synthetic trace to a file (replayable)
 ``replay``    run a saved trace file under a chosen protocol
+
+``report`` and ``bench`` run through the parallel experiment engine:
+``REPRO_JOBS`` sizes the worker pool and ``REPRO_CACHE_DIR`` locates the
+persistent result cache (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -102,8 +107,20 @@ def cmd_run(args) -> int:
     protocol = _protocol(args.protocol)
     streams = build_streams(args.workload, cores=args.cores,
                             per_core=args.scale, seed=args.seed)
-    result = simulate(streams, _config(args, protocol), name=args.workload)
-    _print_summary(result)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = simulate(streams, _config(args, protocol), name=args.workload)
+        profiler.disable()
+        _print_summary(result)
+        print("\ntop-20 functions by cumulative time:")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        result = simulate(streams, _config(args, protocol), name=args.workload)
+        _print_summary(result)
     return 0
 
 
@@ -123,18 +140,41 @@ def cmd_compare(args) -> int:
 
 
 def cmd_report(args) -> int:
+    from repro.experiments.engine import ExperimentEngine
     from repro.experiments.report import write_report
-    from repro.experiments.runner import ExperimentSettings, ResultMatrix
+    from repro.experiments.runner import (
+        ExperimentSettings,
+        ResultMatrix,
+        default_settings,
+    )
 
     settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
-                                  seed=args.seed)
-    matrix = ResultMatrix(settings)
+                                  seed=args.seed,
+                                  workloads=default_settings().workloads)
+    engine = ExperimentEngine(jobs=args.jobs) if args.jobs else None
+    matrix = ResultMatrix(settings, engine=engine)
     if args.out:
         with open(args.out, "w") as fh:
             write_report(matrix, out=fh)
         print(f"report written to {args.out}")
     else:
         write_report(matrix)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.experiments.bench import render, run_bench
+
+    report = run_bench(quick=args.quick, jobs=args.jobs or None,
+                       out_path=args.out,
+                       record_baseline=args.record_baseline)
+    print(render(report))
+    print(f"\nbench report written to {args.out}")
+    if args.assert_warm and not report["sweep"]["warm_all_hits"]:
+        print("FAIL: warm sweep was not 100% cache hits "
+              f"({report['sweep']['warm_cache_hits']} hits, "
+              f"{report['sweep']['warm_simulated']} simulated)")
+        return 1
     return 0
 
 
@@ -268,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one workload/protocol")
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     p.add_argument("--protocol", default="mw")
+    p.add_argument("--profile", action="store_true",
+                   help="run under cProfile and print the top-20 functions "
+                        "by cumulative time")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_run)
 
@@ -278,8 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="regenerate every table/figure")
     p.add_argument("--out", default="")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (default: REPRO_JOBS or all cores)")
     _add_machine_args(p)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("bench",
+                       help="time cold/warm sweeps and the transaction hot "
+                            "path; write BENCH_protozoa.json")
+    p.add_argument("--quick", action="store_true",
+                   help="small matrix for CI smoke runs")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (default: REPRO_JOBS or all cores)")
+    p.add_argument("--out", default="BENCH_protozoa.json")
+    p.add_argument("--assert-warm", action="store_true",
+                   help="exit nonzero unless the warm sweep was 100%% cache hits")
+    p.add_argument("--record-baseline", action="store_true",
+                   help="re-record benchmarks/baseline_protozoa.json from this "
+                        "machine's microbenchmark")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("verify", help="run the random protocol tester")
     p.add_argument("--protocol", default="")

@@ -70,6 +70,12 @@ class CoherenceProtocol:
         ]
         self._golden: Dict[int, List[int]] = {}
         self._seq = 0
+        # Per-access invariants hoisted out of the transaction loop: these
+        # never change after construction, and attribute chains through the
+        # frozen config dataclasses are measurably expensive per access.
+        self._hit_latency = config.l1.hit_latency
+        self._check_invariants = config.check_invariants
+        self._check_values = config.check_values
         # (core, words-mask) per dirty supplier of the current transaction;
         # consumed by the 3-hop forwarding decision.
         self._txn_suppliers: List[Tuple[int, int]] = []
@@ -127,36 +133,41 @@ class CoherenceProtocol:
         if not 0 <= core < self.config.cores:
             raise SimulationError(f"core {core} out of range")
         region, rng = self.amap.access_range(addr, size)
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
         l1 = self.l1s[core]
-        mask = rng.to_mask()
+        mask = rng.mask
+        # Coverage scan: one pass over the region's resident blocks.  Blocks
+        # that miss ``rng`` contribute no bits inside ``mask``, so filtering
+        # for overlap first is pure overhead.
         covered_r = 0
         covered_w = 0
-        for block in l1.overlapping(region, rng):
-            bmask = block.range.to_mask()
-            if block.state.readable:
+        for block in l1.blocks_of(region):
+            state = block.state
+            if state is LineState.S:
+                covered_r |= block.range.mask
+            elif state is LineState.M or state is LineState.E:
+                bmask = block.range.mask
                 covered_r |= bmask
-            if block.state.writable:
                 covered_w |= bmask
-        covered = covered_w if is_write else covered_r
-        if mask & ~covered == 0:
+        if mask & ~(covered_w if is_write else covered_r) == 0:
             if is_write:
-                self.stats.write_hits += 1
+                stats.write_hits += 1
                 self._do_write(core, region, rng)
             else:
-                self.stats.read_hits += 1
+                stats.read_hits += 1
                 self._do_read(core, region, rng)
-            return self.config.l1.hit_latency
+            return self._hit_latency
 
         latency = self._miss(core, is_write, region, rng, pc, covered_r & mask)
         if is_write:
             self._do_write(core, region, rng)
         else:
             self._do_read(core, region, rng)
-        if self.config.check_invariants:
+        if self._check_invariants:
             self.check_region_invariants(region)
         return latency
 
@@ -536,6 +547,24 @@ class CoherenceProtocol:
 
     def _do_read(self, core: int, region: int, rng: WordRange) -> None:
         l1 = self.l1s[core]
+        mask = rng.mask
+        block = l1.peek(region, rng.start)
+        if (block is not None and mask & ~block.range.mask == 0
+                and block.state is not LineState.I):
+            # Fast path: one resident block covers the whole access.
+            if self._check_values:
+                golden = self._golden_region(region)
+                base = block.range.start
+                data = block.data
+                for word in range(rng.start, rng.end + 1):
+                    if data[word - base] != golden[word]:
+                        raise InvariantViolation(
+                            f"core {core} read R{region}:{word} = "
+                            f"{data[word - base]}, expected {golden[word]}"
+                        )
+            block.touched_mask |= mask
+            return
+        golden = self._golden_region(region) if self._check_values else None
         for word in rng.words():
             block = l1.peek(region, word)
             if block is None or not block.state.readable:
@@ -543,16 +572,36 @@ class CoherenceProtocol:
                     f"core {core} read of R{region} word {word} not satisfied"
                 )
             block.touch(WordRange(word, word))
-            if self.config.check_values:
-                expect = self._golden_region(region)[word]
+            if golden is not None:
                 got = block.value(word)
-                if got != expect:
+                if got != golden[word]:
                     raise InvariantViolation(
-                        f"core {core} read R{region}:{word} = {got}, expected {expect}"
+                        f"core {core} read R{region}:{word} = {got}, "
+                        f"expected {golden[word]}"
                     )
 
     def _do_write(self, core: int, region: int, rng: WordRange) -> None:
         l1 = self.l1s[core]
+        mask = rng.mask
+        block = l1.peek(region, rng.start)
+        if (block is not None and mask & ~block.range.mask == 0
+                and (block.state is LineState.M or block.state is LineState.E)):
+            # Fast path: one writable block covers the whole access.
+            if block.state is LineState.E:
+                block.state = LineState.M  # silent E->M upgrade
+            golden = self._golden_region(region)
+            base = block.range.start
+            data = block.data
+            seq = self._seq
+            for word in range(rng.start, rng.end + 1):
+                seq += 1
+                data[word - base] = seq
+                golden[word] = seq
+            self._seq = seq
+            block.dirty_mask |= mask
+            block.touched_mask |= mask
+            return
+        golden = self._golden_region(region)
         for word in rng.words():
             block = l1.peek(region, word)
             if block is None or not block.state.writable:
@@ -563,7 +612,7 @@ class CoherenceProtocol:
                 block.state = LineState.M  # silent E->M upgrade
             self._seq += 1
             block.write(word, self._seq)
-            self._golden_region(region)[word] = self._seq
+            golden[word] = self._seq
 
     # ------------------------------------------------------------------
     # Model-checking hooks (bounded exploration; repro.modelcheck)

@@ -17,13 +17,23 @@ WORD_BYTES = 8
 class AddressMap:
     """Byte-address <-> (region id, word index) conversions."""
 
-    __slots__ = ("region_bytes", "words_per_region")
+    __slots__ = ("region_bytes", "words_per_region", "_ranges", "_full")
 
     def __init__(self, region_bytes: int = 64):
         if region_bytes % WORD_BYTES != 0 or region_bytes <= 0:
             raise ConfigError(f"region size {region_bytes} not a multiple of {WORD_BYTES}")
         self.region_bytes = region_bytes
         self.words_per_region = region_bytes // WORD_BYTES
+        # Interned WordRange instances for every (first, last) pair within a
+        # region: access_range() runs once per simulated access, and reusing
+        # ranges keeps their precomputed masks hot instead of reallocating.
+        words = self.words_per_region
+        self._ranges = [
+            [WordRange(first, last) if last >= first else None
+             for last in range(words)]
+            for first in range(words)
+        ]
+        self._full = self._ranges[0][words - 1]
 
     def region_of(self, addr: int) -> int:
         """REGION id containing the byte address."""
@@ -51,16 +61,18 @@ class AddressMap:
         Accesses are assumed not to straddle a region boundary (the trace
         generators guarantee this; real ISAs split such accesses too).
         """
-        region, first = self.split(addr)
-        last_addr = addr + max(size, 1) - 1
-        last_region, last = self.split(last_addr)
-        if last_region != region:
+        region, offset = divmod(addr, self.region_bytes)
+        first = offset // WORD_BYTES
+        last_offset = offset + max(size, 1) - 1
+        if last_offset >= self.region_bytes:
             last = self.words_per_region - 1
-        return region, WordRange(first, last)
+        else:
+            last = last_offset // WORD_BYTES
+        return region, self._ranges[first][last]
 
     def full_range(self) -> WordRange:
         """The word range covering an entire region."""
-        return WordRange(0, self.words_per_region - 1)
+        return self._full
 
     def __repr__(self) -> str:
         return f"AddressMap(region_bytes={self.region_bytes})"

@@ -17,23 +17,21 @@ from typing import Iterator, List, Optional, Tuple
 class WordRange:
     """An inclusive ``[start, end]`` range of word indices within a region."""
 
-    __slots__ = ("start", "end")
+    __slots__ = ("start", "end", "width", "mask")
 
     def __init__(self, start: int, end: int):
         if start < 0 or end < start:
             raise ValueError(f"invalid word range [{start}, {end}]")
+        # width and mask are derived but precomputed: they sit on the
+        # per-access hot path, where a property/shift per call dominates.
+        width = end - start + 1
         object.__setattr__(self, "start", start)
         object.__setattr__(self, "end", end)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "mask", ((1 << width) - 1) << start)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("WordRange is immutable")
-
-    # -- basic queries -----------------------------------------------------
-
-    @property
-    def width(self) -> int:
-        """Number of words covered by the range."""
-        return self.end - self.start + 1
 
     def contains(self, word: int) -> bool:
         """True if ``word`` lies inside the range."""
@@ -84,7 +82,7 @@ class WordRange:
 
     def to_mask(self) -> int:
         """Bitmask with a set bit per covered word (bit i = word i)."""
-        return ((1 << self.width) - 1) << self.start
+        return self.mask
 
     @staticmethod
     def spanning_mask(mask: int) -> Optional["WordRange"]:
@@ -130,7 +128,7 @@ def union_mask(ranges) -> int:
     """Bitmask covering the union of an iterable of ranges."""
     mask = 0
     for r in ranges:
-        mask |= r.to_mask()
+        mask |= r.mask
     return mask
 
 
@@ -153,4 +151,4 @@ def mask_to_ranges(mask: int) -> List[WordRange]:
 
 def popcount(mask: int) -> int:
     """Number of set bits (words) in a mask."""
-    return bin(mask).count("1")
+    return mask.bit_count()

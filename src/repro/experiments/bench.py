@@ -1,0 +1,207 @@
+"""``repro bench``: the repository's performance trajectory, as data.
+
+Times three things and writes them to ``BENCH_protozoa.json``:
+
+* **cold sweep, serial** — the (workload x protocol) matrix through the
+  experiment engine with one job and an empty result cache;
+* **cold sweep, parallel / warm sweep** — the same matrix fanned out over
+  the worker pool into a second empty cache, then replayed against that
+  now-populated cache (a warm sweep must be 100% cache hits);
+* **single-run microbenchmark** — accesses/second through one simulation
+  (the coherence transaction hot path), compared against the pre-PR
+  baseline recorded in ``benchmarks/baseline_protozoa.json``.
+
+``--quick`` shrinks the matrix for CI smoke runs; ``--assert-warm`` fails
+the invocation unless the warm sweep never missed the cache;
+``--record-baseline`` re-records the microbenchmark baseline for this
+machine (do this once per hardware change, before optimization work).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.common.params import ProtocolKind
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ResultCache,
+    RunSpec,
+    default_jobs,
+    execute_spec,
+)
+from repro.experiments.runner import ALL_PROTOCOLS
+
+BENCH_SCHEMA = 1
+
+#: Microbenchmark recipe — keep in lockstep with benchmarks/baseline_protozoa.json
+#: (comparing against a baseline recorded under a different recipe is noise).
+MICROBENCH = RunSpec(workload="kmeans", protocol=ProtocolKind.PROTOZOA_MW,
+                     cores=16, per_core=2000, seed=0)
+
+QUICK_WORKLOADS = ("kmeans", "histogram")
+FULL_WORKLOADS = ("kmeans", "histogram", "fft", "blackscholes")
+
+
+def baseline_path() -> Path:
+    """benchmarks/baseline_protozoa.json at the repository root."""
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "baseline_protozoa.json"
+
+
+def load_baseline() -> Optional[float]:
+    try:
+        with open(baseline_path()) as fh:
+            return float(json.load(fh)["accesses_per_sec"])
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def matrix_specs(workloads, cores: int, per_core: int, seed: int = 0) -> List[RunSpec]:
+    return [RunSpec(workload=name, protocol=protocol, cores=cores,
+                    per_core=per_core, seed=seed)
+            for name in workloads for protocol in ALL_PROTOCOLS]
+
+
+def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
+    """One engine sweep against ``cache_root``; returns timing + cache stats."""
+    engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_root, enabled=True))
+    start = time.perf_counter()
+    results = engine.run_many(specs)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "cells": len(results),
+        "cache_hits": engine.cache.hits,
+        "simulated": engine.executed,
+    }
+
+
+def time_single_run(spec: RunSpec, repeats: int) -> Dict:
+    """Best-of-``repeats`` accesses/second through one simulation."""
+    best = 0.0
+    accesses = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = execute_spec(spec)
+        elapsed = time.perf_counter() - start
+        accesses = result.stats.accesses
+        best = max(best, accesses / elapsed)
+    return {
+        "workload": spec.workload,
+        "protocol": spec.protocol.value,
+        "cores": spec.cores,
+        "per_core": spec.per_core,
+        "repeats": repeats,
+        "accesses": accesses,
+        "accesses_per_sec": round(best, 1),
+    }
+
+
+def run_bench(quick: bool = False, jobs: Optional[int] = None,
+              out_path: str = "BENCH_protozoa.json",
+              record_baseline: bool = False) -> Dict:
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if quick:
+        workloads, cores, per_core, repeats = QUICK_WORKLOADS, 8, 200, 3
+    else:
+        workloads, cores, per_core, repeats = FULL_WORKLOADS, 16, 1000, 5
+    specs = matrix_specs(workloads, cores=cores, per_core=per_core)
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    try:
+        serial_cold = time_sweep(specs, jobs=1, cache_root=scratch / "serial")
+        parallel_cold = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
+        warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    single = time_single_run(MICROBENCH, repeats=repeats)
+    if record_baseline:
+        payload = {
+            "comment": "Pre-optimization hot-path baseline for `repro bench`. "
+                       "Recorded with `repro bench --record-baseline` before the "
+                       "transaction-loop optimization landed; re-record on new "
+                       "hardware to keep the improvement number meaningful.",
+            "microbench": {
+                "workload": MICROBENCH.workload,
+                "protocol": MICROBENCH.protocol.value,
+                "cores": MICROBENCH.cores,
+                "per_core": MICROBENCH.per_core,
+                "seed": MICROBENCH.seed,
+                "repeats": repeats,
+            },
+            "accesses_per_sec": single["accesses_per_sec"],
+        }
+        with open(baseline_path(), "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    baseline = load_baseline()
+    single["baseline_accesses_per_sec"] = baseline
+    single["improvement_pct"] = (
+        round(100.0 * (single["accesses_per_sec"] / baseline - 1.0), 1)
+        if baseline else None
+    )
+
+    report = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "jobs": jobs,
+        "matrix": {
+            "workloads": list(workloads),
+            "protocols": [p.value for p in ALL_PROTOCOLS],
+            "cores": cores,
+            "per_core": per_core,
+            "cells": len(specs),
+        },
+        "sweep": {
+            "serial_cold_s": round(serial_cold["seconds"], 3),
+            "parallel_cold_s": round(parallel_cold["seconds"], 3),
+            "warm_s": round(warm["seconds"], 3),
+            "parallel_speedup": round(
+                serial_cold["seconds"] / parallel_cold["seconds"], 2),
+            "warm_speedup_vs_cold": round(
+                parallel_cold["seconds"] / warm["seconds"], 2)
+                if warm["seconds"] else None,
+            "warm_cache_hits": warm["cache_hits"],
+            "warm_simulated": warm["simulated"],
+            "warm_all_hits": warm["cache_hits"] == len(specs)
+                             and warm["simulated"] == 0,
+        },
+        "single_run": single,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report
+
+
+def render(report: Dict) -> str:
+    sweep = report["sweep"]
+    single = report["single_run"]
+    lines = [
+        f"matrix: {report['matrix']['cells']} cells "
+        f"({len(report['matrix']['workloads'])} workloads x "
+        f"{len(report['matrix']['protocols'])} protocols), "
+        f"{report['matrix']['cores']} cores x "
+        f"{report['matrix']['per_core']} accesses, {report['jobs']} jobs",
+        f"cold sweep (serial):    {sweep['serial_cold_s']:8.3f}s",
+        f"cold sweep (parallel):  {sweep['parallel_cold_s']:8.3f}s  "
+        f"({sweep['parallel_speedup']}x vs serial)",
+        f"warm sweep:             {sweep['warm_s']:8.3f}s  "
+        f"({sweep['warm_speedup_vs_cold']}x vs cold, "
+        f"{sweep['warm_cache_hits']}/{report['matrix']['cells']} cache hits)",
+        f"single run:             {single['accesses_per_sec']:,.0f} accesses/s "
+        f"({single['workload']}/{single['protocol']})",
+    ]
+    if single["baseline_accesses_per_sec"]:
+        lines.append(
+            f"vs recorded baseline:   {single['baseline_accesses_per_sec']:,.0f} "
+            f"accesses/s ({single['improvement_pct']:+.1f}%)")
+    else:
+        lines.append("vs recorded baseline:   (no baseline recorded; run "
+                     "`repro bench --record-baseline`)")
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""The parallel experiment engine with a persistent result cache.
+
+Every figure harness ultimately replays cells of the same deterministic
+(workload x protocol x block-size) run matrix.  Runs are mutually
+independent, so this module fans them out across a process pool and
+memoizes each finished :class:`~repro.system.results.RunResult` on disk,
+content-addressed by the full run recipe:
+
+* **RunSpec** — the recipe for one run: (workload, protocol, block_bytes,
+  cores, per_core, seed).  Its digest additionally covers
+  ``SCHEMA_VERSION``; bumping the version invalidates every cached entry
+  (the only invalidation rule — bump it whenever a change alters simulated
+  outcomes or the serialized layout).
+* **ResultCache** — ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``),
+  one JSON file per digest under a two-hex-char fan-out directory.
+  Entries are written atomically (temp file + rename) so concurrent
+  engines never observe torn results.  ``REPRO_CACHE=0`` disables it.
+* **ExperimentEngine** — cache-aware execution.  ``run()`` serves one
+  spec; ``run_many()`` fans cache misses out over a
+  ``ProcessPoolExecutor`` sized by ``$REPRO_JOBS`` (default: all cores),
+  falling back to in-process serial execution when ``REPRO_JOBS=1``.
+
+Simulations are deterministic, so parallel, serial, and cached results
+are bit-identical (``tests/experiments/test_engine.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.system.results import RunResult
+from repro.trace.workloads import build_streams
+
+#: Bump whenever simulation behaviour or the serialized result layout
+#: changes: every previously cached entry becomes unreachable.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """The complete, deterministic recipe for one simulation run."""
+
+    workload: str
+    protocol: ProtocolKind
+    block_bytes: Optional[int] = None
+    cores: int = 16
+    per_core: int = 2000
+    seed: int = 0
+
+    def config(self) -> SystemConfig:
+        config = SystemConfig(protocol=self.protocol, cores=self.cores)
+        if self.block_bytes is not None:
+            config = config.with_block_bytes(self.block_bytes)
+        return config
+
+    def payload(self) -> Dict:
+        """JSON-safe form (sent to worker processes, hashed for the cache)."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol.value,
+            "block_bytes": self.block_bytes,
+            "cores": self.cores,
+            "per_core": self.per_core,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict) -> "RunSpec":
+        return cls(
+            workload=data["workload"],
+            protocol=ProtocolKind(data["protocol"]),
+            block_bytes=data["block_bytes"],
+            cores=data["cores"],
+            per_core=data["per_core"],
+            seed=data["seed"],
+        )
+
+    def digest(self) -> str:
+        """Content address: the recipe plus the engine schema version."""
+        recipe = {"schema": SCHEMA_VERSION, **self.payload()}
+        blob = json.dumps(recipe, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec in-process (no cache involvement)."""
+    streams = build_streams(spec.workload, cores=spec.cores,
+                            per_core=spec.per_core, seed=spec.seed)
+    return simulate(streams, spec.config(), name=spec.workload)
+
+
+def _worker_run(payload: Dict) -> Dict:
+    """Process-pool entry point: recipe in, portable result out."""
+    return execute_spec(RunSpec.from_payload(payload)).to_dict()
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized run results."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        digest = spec.digest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        if not self.enabled:
+            return None
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            result = RunResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Absent or torn/stale entry: treat as a miss (a fresh run
+            # overwrites it).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        if not self.enabled:
+            return
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(result.to_dict(), fh)
+            os.replace(tmp, path)  # atomic on POSIX
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+class ExperimentEngine:
+    """Cache-aware, optionally parallel execution of run specs."""
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache = cache if cache is not None else ResultCache()
+        self.executed = 0  # specs actually simulated (cache misses)
+
+    # -- single run ----------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> RunResult:
+        cached = self.cache.get(spec)
+        if cached is not None:
+            return cached
+        result = execute_spec(spec)
+        self.executed += 1
+        self.cache.put(spec, result)
+        return result
+
+    # -- batched runs ----------------------------------------------------------
+
+    def run_many(self, specs: Iterable[RunSpec]) -> Dict[RunSpec, RunResult]:
+        """Serve every spec, fanning cache misses out across the pool.
+
+        Results are keyed by spec; duplicate specs collapse to one run.
+        """
+        out: Dict[RunSpec, RunResult] = {}
+        todo: List[RunSpec] = []
+        pending = set()
+        for spec in specs:
+            if spec in out or spec in pending:
+                continue
+            cached = self.cache.get(spec)
+            if cached is not None:
+                out[spec] = cached
+            else:
+                todo.append(spec)
+                pending.add(spec)
+        if not todo:
+            return out
+        if self.jobs <= 1 or len(todo) == 1:
+            for spec in todo:
+                result = execute_spec(spec)
+                self.executed += 1
+                self.cache.put(spec, result)
+                out[spec] = result
+            return out
+        workers = min(self.jobs, len(todo))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_worker_run, spec.payload()): spec
+                       for spec in todo}
+            for future in as_completed(futures):
+                spec = futures[future]
+                result = RunResult.from_dict(future.result())
+                self.executed += 1
+                self.cache.put(spec, result)
+                out[spec] = result
+        return out

@@ -3,7 +3,11 @@
 Figures 9, 10, 13, 14 and 15 all consume the same (workload x protocol)
 run matrix; :class:`ResultMatrix` memoizes each run so a full figure sweep
 simulates every configuration exactly once per process (and the benchmark
-suite shares one matrix across all figure benches).
+suite shares one matrix across all figure benches).  Under the hood every
+run is served by :class:`~repro.experiments.engine.ExperimentEngine`:
+cache misses of a :meth:`ResultMatrix.sweep` fan out across a process
+pool (``REPRO_JOBS``) and finished results persist on disk
+(``REPRO_CACHE_DIR``), so a warm sweep is pure cache hits.
 
 Scale control: ``REPRO_SCALE`` (accesses per core, default 2000) and
 ``REPRO_WORKLOADS`` (comma-separated subset) keep full-suite regeneration
@@ -16,10 +20,10 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.params import ProtocolKind, SystemConfig
-from repro.system.machine import simulate
+from repro.common.params import ProtocolKind
+from repro.experiments.engine import ExperimentEngine, RunSpec
 from repro.system.results import RunResult
-from repro.trace.workloads import WORKLOADS, build_streams
+from repro.trace.workloads import WORKLOADS
 
 ALL_PROTOCOLS: Tuple[ProtocolKind, ...] = (
     ProtocolKind.MESI,
@@ -53,45 +57,88 @@ def default_settings() -> ExperimentSettings:
 class ResultMatrix:
     """Memoized (workload, protocol[, block size]) -> RunResult runs."""
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None):
+    def __init__(self, settings: Optional[ExperimentSettings] = None,
+                 engine: Optional[ExperimentEngine] = None):
         self.settings = settings if settings is not None else default_settings()
+        self.engine = engine if engine is not None else ExperimentEngine()
         self._cache: Dict[Tuple, RunResult] = {}
+
+    def _spec(self, workload: str, protocol: ProtocolKind,
+              block_bytes: Optional[int] = None) -> RunSpec:
+        s = self.settings
+        return RunSpec(workload=workload, protocol=protocol,
+                       block_bytes=block_bytes, cores=s.cores,
+                       per_core=s.per_core, seed=s.seed)
 
     def run(self, workload: str, protocol: ProtocolKind,
             block_bytes: Optional[int] = None) -> RunResult:
-        """One simulation, memoized."""
+        """One simulation, memoized (in-process and on disk)."""
         key = (workload, protocol, block_bytes)
         result = self._cache.get(key)
         if result is not None:
             return result
-        s = self.settings
-        config = SystemConfig(protocol=protocol, cores=s.cores)
-        if block_bytes is not None:
-            config = config.with_block_bytes(block_bytes)
-        streams = build_streams(workload, cores=s.cores, per_core=s.per_core,
-                                seed=s.seed)
-        result = simulate(streams, config, name=workload)
+        result = self.engine.run(self._spec(workload, protocol, block_bytes))
         self._cache[key] = result
         return result
 
     def sweep(self, protocols: Sequence[ProtocolKind] = ALL_PROTOCOLS,
               workloads: Optional[Sequence[str]] = None
               ) -> Dict[Tuple[str, ProtocolKind], RunResult]:
-        """Run (and memoize) the full workload x protocol matrix."""
+        """Run (and memoize) the full workload x protocol matrix.
+
+        Cells not already memoized are served by the engine as one batch,
+        which fans cache misses out across the worker pool.
+        """
         names = list(workloads) if workloads else self.settings.workload_names()
-        out = {}
+        missing = {}
         for name in names:
             for protocol in protocols:
-                out[(name, protocol)] = self.run(name, protocol)
-        return out
+                key = (name, protocol, None)
+                if key not in self._cache:
+                    missing[key] = self._spec(name, protocol)
+        if missing:
+            results = self.engine.run_many(list(missing.values()))
+            for key, spec in missing.items():
+                self._cache[key] = results[spec]
+        return {(name, protocol): self._cache[(name, protocol, None)]
+                for name in names for protocol in protocols}
+
+    def prewarm(self, block_sizes: Sequence[int] = ()) -> None:
+        """Batch-run every cell the full report consumes, in parallel.
+
+        Covers the (workload x protocol) matrix plus MESI block-size
+        sweeps (Table 1) so the per-cell ``run()`` calls of the figure
+        harnesses are pure memo hits afterwards.
+        """
+        names = self.settings.workload_names()
+        specs = []
+        keys = []
+        for name in names:
+            for protocol in ALL_PROTOCOLS:
+                keys.append((name, protocol, None))
+            for block in block_sizes:
+                keys.append((name, ProtocolKind.MESI, block))
+        for key in keys:
+            if key not in self._cache:
+                specs.append((key, self._spec(*key)))
+        if specs:
+            results = self.engine.run_many([spec for _, spec in specs])
+            for key, spec in specs:
+                self._cache[key] = results[spec]
 
 
 _SHARED: Optional[ResultMatrix] = None
 
 
 def shared_matrix() -> ResultMatrix:
-    """Process-wide matrix so all figure harnesses reuse the same runs."""
+    """Process-wide matrix so all figure harnesses reuse the same runs.
+
+    Keyed by the current environment-derived settings: changing
+    ``REPRO_SCALE`` / ``REPRO_WORKLOADS`` mid-process rebuilds the shared
+    matrix instead of silently serving runs at the stale scale.
+    """
     global _SHARED
-    if _SHARED is None:
-        _SHARED = ResultMatrix()
+    settings = default_settings()
+    if _SHARED is None or _SHARED.settings != settings:
+        _SHARED = ResultMatrix(settings)
     return _SHARED

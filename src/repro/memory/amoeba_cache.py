@@ -64,19 +64,21 @@ class AmoebaCache:
 
     def blocks_of(self, region: int) -> List[Block]:
         """All resident blocks of a region (the CHECK step of Figure 3)."""
-        return [b for b in self._sets[self.set_index(region)] if b.region == region]
+        return [b for b in self._sets[region % self.num_sets] if b.region == region]
 
     def overlapping(self, region: int, rng: WordRange) -> List[Block]:
         """Resident blocks of ``region`` intersecting ``rng``."""
-        return [b for b in self.blocks_of(region) if b.range.overlaps(rng)]
+        mask = rng.mask
+        return [b for b in self._sets[region % self.num_sets]
+                if b.region == region and b.range.mask & mask]
 
     def covered_mask(self, region: int, rng: WordRange) -> int:
         """Bitmask of the words of ``rng`` currently resident for ``region``."""
-        want = rng.to_mask()
         have = 0
-        for block in self.blocks_of(region):
-            have |= block.range.to_mask()
-        return have & want
+        for block in self._sets[region % self.num_sets]:
+            if block.region == region:
+                have |= block.range.mask
+        return have & rng.mask
 
     def __iter__(self) -> Iterator[Block]:
         for line in self._sets:

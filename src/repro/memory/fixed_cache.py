@@ -50,10 +50,12 @@ class FixedCache:
         return None
 
     def blocks_of(self, region: int) -> List[Block]:
-        return [b for b in self._sets[self.set_index(region)] if b.region == region]
+        return [b for b in self._sets[region % self.num_sets] if b.region == region]
 
     def overlapping(self, region: int, rng: WordRange) -> List[Block]:
-        return [b for b in self.blocks_of(region) if b.range.overlaps(rng)]
+        mask = rng.mask
+        return [b for b in self._sets[region % self.num_sets]
+                if b.region == region and b.range.mask & mask]
 
     def covered_mask(self, region: int, rng: WordRange) -> int:
         want = rng.to_mask()

@@ -111,7 +111,11 @@ class SectorCache:
         return list(frame.blocks) if frame else []
 
     def overlapping(self, region: int, rng: WordRange) -> List[Block]:
-        return [b for b in self.blocks_of(region) if b.range.overlaps(rng)]
+        frame = self._frame(region)
+        if frame is None:
+            return []
+        mask = rng.mask
+        return [b for b in frame.blocks if b.range.mask & mask]
 
     def covered_mask(self, region: int, rng: WordRange) -> int:
         frame = self._frame(region)

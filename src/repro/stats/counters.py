@@ -47,6 +47,19 @@ class TrafficBreakdown:
     def total(self) -> int:
         return self.used_data + self.unused_data + self.control_total
 
+    def to_dict(self) -> Dict:
+        return {
+            "used_data": self.used_data,
+            "unused_data": self.unused_data,
+            "control": dict(self.control),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrafficBreakdown":
+        out = cls(used_data=data["used_data"], unused_data=data["unused_data"])
+        out.control.update(data["control"])
+        return out
+
     def fractions(self) -> Dict[str, float]:
         total = self.total or 1
         return {
@@ -87,6 +100,9 @@ class RunStats:
         self.core_cycles: List[int] = [0] * cores
         self.miss_latency_total = 0
         self.miss_latency = LatencyHistogram()
+        # True when the simulator stopped at max_accesses with events still
+        # pending — a partial run that must not be cached as complete.
+        self.truncated = False
 
     # -- traffic recording ---------------------------------------------------
 
@@ -158,3 +174,34 @@ class RunStats:
             "used_frac": self.used_fraction(),
             "exec_cycles": self.execution_cycles(),
         }
+
+    # -- serialization (the persistent result cache) -------------------------
+
+    _SCALAR_FIELDS = (
+        "instructions", "reads", "writes", "read_hits", "write_hits",
+        "read_misses", "write_misses", "upgrade_misses",
+        "invalidations_sent", "nacks", "ack_s",
+        "writebacks", "writebacks_last", "evictions", "inval_block_kills",
+        "fills", "fill_words", "miss_latency_total", "truncated",
+    )
+
+    def to_dict(self) -> Dict:
+        """Every counter, JSON-serializable; exact inverse of from_dict."""
+        out = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        out["cores"] = self.cores
+        out["traffic"] = self.traffic.to_dict()
+        out["block_size_hist"] = {str(k): v for k, v in self.block_size_hist.items()}
+        out["core_cycles"] = list(self.core_cycles)
+        out["miss_latency"] = self.miss_latency.to_dict()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunStats":
+        stats = cls(data["cores"])
+        for name in cls._SCALAR_FIELDS:
+            setattr(stats, name, data[name])
+        stats.traffic = TrafficBreakdown.from_dict(data["traffic"])
+        stats.block_size_hist = {int(k): v for k, v in data["block_size_hist"].items()}
+        stats.core_cycles = list(data["core_cycles"])
+        stats.miss_latency = LatencyHistogram.from_dict(data["miss_latency"])
+        return stats

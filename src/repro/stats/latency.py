@@ -63,6 +63,27 @@ class LatencyHistogram:
             "p99<=": self.percentile_bound(0.99),
         }
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable state; exact inverse of :meth:`from_dict`."""
+        return {
+            "max_exponent": self.max_exponent,
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LatencyHistogram":
+        hist = cls(max_exponent=data["max_exponent"])
+        hist.buckets = list(data["buckets"])
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
     def nonzero_buckets(self) -> List[tuple]:
         """[(low, high, count), ...] for populated buckets."""
         out = []

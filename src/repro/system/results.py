@@ -1,13 +1,53 @@
-"""Result packaging: everything a figure harness needs from one run."""
+"""Result packaging: everything a figure harness needs from one run.
+
+A ``RunResult`` exists in two forms.  A *live* result (fresh from
+:func:`repro.system.machine.simulate`) carries the protocol instance, so
+network and directory figures read the live objects.  A *portable* result
+(deserialized from the experiment engine's persistent cache, or shipped
+back from a worker process) carries only plain data: the network and
+directory figures are captured into ``flit_hops_total`` / ``dir_buckets``
+at serialization time.  Every figure-facing accessor works identically on
+both forms.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.coherence.protocol_base import CoherenceProtocol
-from repro.common.params import SystemConfig
+from repro.common.params import (
+    L1Organization,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
 from repro.stats.counters import RunStats
+
+
+def config_to_dict(config: SystemConfig) -> Dict:
+    """The configuration axes the experiment engine varies (JSON-safe)."""
+    return {
+        "protocol": config.protocol.value,
+        "cores": config.cores,
+        "region_bytes": config.region_bytes,
+        "block_bytes": config.block_bytes,
+        "predictor": config.predictor.value,
+        "l1_organization": config.l1_organization.value,
+        "three_hop": config.three_hop,
+    }
+
+
+def config_from_dict(data: Dict) -> SystemConfig:
+    return SystemConfig(
+        protocol=ProtocolKind(data["protocol"]),
+        cores=data["cores"],
+        region_bytes=data["region_bytes"],
+        block_bytes=data["block_bytes"],
+        predictor=PredictorKind(data["predictor"]),
+        l1_organization=L1Organization(data["l1_organization"]),
+        three_hop=data["three_hop"],
+    )
 
 
 @dataclass
@@ -17,7 +57,10 @@ class RunResult:
     name: str
     config: SystemConfig
     stats: RunStats
-    protocol: CoherenceProtocol
+    protocol: Optional[CoherenceProtocol] = None
+    # Portable captures for protocol-derived figures (set when serialized).
+    flit_hops_total: int = 0
+    dir_buckets: Optional[Dict[str, int]] = None
 
     @property
     def protocol_name(self) -> str:
@@ -55,15 +98,42 @@ class RunResult:
         return self.stats.execution_cycles()
 
     def flit_hops(self) -> int:
-        return self.protocol.net.total_flit_hops
+        if self.protocol is not None:
+            return self.protocol.net.total_flit_hops
+        return self.flit_hops_total
 
     def block_size_buckets(self) -> Dict[str, float]:
         return self.stats.block_size_buckets()
 
     def dir_owned_buckets(self) -> Dict[str, int]:
-        return self.protocol.directory.owned_access_buckets()
+        if self.protocol is not None:
+            return self.protocol.directory.owned_access_buckets()
+        return dict(self.dir_buckets or {})
 
     def summary(self) -> Dict[str, float]:
         out = self.stats.summary()
         out["flit_hops"] = self.flit_hops()
         return out
+
+    # -- serialization (the persistent result cache) -------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form preserving every figure-facing counter."""
+        return {
+            "name": self.name,
+            "config": config_to_dict(self.config),
+            "stats": self.stats.to_dict(),
+            "flit_hops": self.flit_hops(),
+            "dir_owned_buckets": self.dir_owned_buckets(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        return cls(
+            name=data["name"],
+            config=config_from_dict(data["config"]),
+            stats=RunStats.from_dict(data["stats"]),
+            protocol=None,
+            flit_hops_total=data["flit_hops"],
+            dir_buckets=dict(data["dir_owned_buckets"]),
+        )

@@ -36,31 +36,48 @@ class Simulator:
         self.clocks = [0] * protocol.config.cores
 
     def run(self, max_accesses: Optional[int] = None, flush: bool = True) -> RunStats:
-        """Run to stream exhaustion (or ``max_accesses``); returns the stats."""
+        """Run to stream exhaustion (or ``max_accesses``); returns the stats.
+
+        A run cut short by ``max_accesses`` while events were still pending
+        is flagged in ``stats.truncated`` so downstream consumers (and the
+        persistent result cache) never mistake a partial run for a complete
+        one.
+        """
+        clocks = self.clocks
+        streams = self._streams
         heap = []
-        for core, stream in enumerate(self._streams):
+        for core, stream in enumerate(streams):
             event = next(stream, None)
             if event is not None:
-                heap.append((self.clocks[core], core, event))
+                heap.append((clocks[core], core, event))
         heapq.heapify(heap)
+        # The issue loop runs once per simulated access; every invariant
+        # lookup (bound methods, stats fields) is hoisted out of it.
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        protocol_read = self.protocol.read
+        protocol_write = self.protocol.write
         issued = 0
+        instructions = 0
         while heap:
             if max_accesses is not None and issued >= max_accesses:
+                self.stats.truncated = True
                 break
-            clock, core, event = heapq.heappop(heap)
-            clock += event.think
-            self.stats.instructions += event.think + 1
+            clock, core, event = heappop(heap)
+            think = event.think
+            clock += think
+            instructions += think + 1
             if event.is_write:
-                latency = self.protocol.write(core, event.addr, event.size, event.pc)
+                clock += protocol_write(core, event.addr, event.size, event.pc)
             else:
-                latency = self.protocol.read(core, event.addr, event.size, event.pc)
-            clock += latency
-            self.clocks[core] = clock
+                clock += protocol_read(core, event.addr, event.size, event.pc)
+            clocks[core] = clock
             issued += 1
-            nxt = next(self._streams[core], None)
+            nxt = next(streams[core], None)
             if nxt is not None:
-                heapq.heappush(heap, (clock, core, nxt))
-        self.stats.core_cycles = list(self.clocks)
+                heappush(heap, (clock, core, nxt))
+        self.stats.instructions += instructions
+        self.stats.core_cycles = list(clocks)
         if flush:
             self.protocol.flush()
         return self.stats

@@ -7,6 +7,24 @@ import pytest
 from repro.common.params import PredictorKind, ProtocolKind, SystemConfig
 from repro.system.machine import build_protocol
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the experiment engine's persistent cache at a session tempdir.
+
+    Tests must neither read stale entries from nor write entries into the
+    user's real ``~/.cache/repro``.
+    """
+    import os
+
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
 ALL_KINDS = list(ProtocolKind)
 PROTOZOA_KINDS = [k for k in ALL_KINDS if k is not ProtocolKind.MESI]
 

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.common.params import ProtocolKind
-from repro.experiments.runner import ALL_PROTOCOLS, ExperimentSettings, ResultMatrix
+from repro.experiments import runner
+from repro.experiments.runner import (
+    ALL_PROTOCOLS,
+    ExperimentSettings,
+    ResultMatrix,
+    shared_matrix,
+)
 
 
 @pytest.fixture(scope="module")
@@ -49,3 +55,31 @@ class TestMatrix:
         assert r16.config.words_per_region == 2
         assert r128.config.words_per_region == 16
         assert r16.stats.misses != r128.stats.misses
+
+
+class TestSharedMatrix:
+    """shared_matrix() must track the environment, not a stale singleton."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_singleton(self, monkeypatch):
+        monkeypatch.setattr(runner, "_SHARED", None)
+
+    def test_reused_while_settings_unchanged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "150")
+        assert shared_matrix() is shared_matrix()
+
+    def test_rebuilt_when_scale_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "150")
+        before = shared_matrix()
+        monkeypatch.setenv("REPRO_SCALE", "300")
+        after = shared_matrix()
+        assert after is not before
+        assert after.settings.per_core == 300
+
+    def test_rebuilt_when_workloads_change(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+        before = shared_matrix()
+        monkeypatch.setenv("REPRO_WORKLOADS", "kmeans,histogram")
+        after = shared_matrix()
+        assert after is not before
+        assert after.settings.workloads == ("kmeans", "histogram")

@@ -34,6 +34,23 @@ class TestRun:
         stats = s.run(max_accesses=10)
         assert stats.accesses == 10
 
+    def test_max_accesses_sets_truncated(self):
+        events = [MemAccess.read(i * 8) for i in range(50)]
+        stats = sim(streams=[events]).run(max_accesses=10)
+        assert stats.truncated is True
+
+    def test_complete_run_is_not_truncated(self):
+        events = [MemAccess.read(i * 8) for i in range(10)]
+        stats = sim(streams=[events]).run()
+        assert stats.truncated is False
+
+    def test_exact_cap_consuming_all_events_is_not_truncated(self):
+        # The cap fires on the final event: nothing was cut short.
+        events = [MemAccess.read(i * 8) for i in range(10)]
+        stats = sim(streams=[events]).run(max_accesses=10)
+        assert stats.accesses == 10
+        assert stats.truncated is False
+
     def test_interleaving_favours_fast_core(self):
         # Core 0 has tiny think times; core 1 huge: core 0 issues more often
         # but the total still completes.
