@@ -28,6 +28,19 @@ def _hermetic_result_cache(tmp_path_factory):
         os.environ["REPRO_CACHE_DIR"] = old
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_trace_cache(tmp_path_factory):
+    """Benchmarks must not reuse (or pollute) the user's packed traces."""
+    old = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-trace-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE_DIR"] = old
+
+
 def bench_settings() -> ExperimentSettings:
     per_core = int(os.environ.get("REPRO_SCALE", "800"))
     names = os.environ.get("REPRO_WORKLOADS", "")

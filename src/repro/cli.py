@@ -20,6 +20,7 @@ persistent result cache (see docs/performance.md).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -58,6 +59,23 @@ def _config(args, protocol: ProtocolKind) -> SystemConfig:
         l1_organization=L1Organization(args.substrate),
         three_hop=args.three_hop,
     )
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for engine-backed work "
+                             "(overrides REPRO_JOBS; default: REPRO_JOBS "
+                             "or all cores)")
+
+
+def _apply_jobs(args) -> Optional[int]:
+    """Resolve ``--jobs``, exporting it so every engine this process (or
+    its pool workers) creates agrees on the worker count."""
+    jobs = getattr(args, "jobs", 0)
+    if jobs and jobs > 0:
+        os.environ["REPRO_JOBS"] = str(jobs)
+        return jobs
+    return None
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -104,9 +122,14 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from repro.trace.cache import packed_streams
+
+    _apply_jobs(args)
     protocol = _protocol(args.protocol)
-    streams = build_streams(args.workload, cores=args.cores,
-                            per_core=args.scale, seed=args.seed)
+    # The packed trace cache makes repeat runs of the same recipe replay a
+    # prebuilt columnar trace instead of re-driving the generators.
+    streams = packed_streams(args.workload, cores=args.cores,
+                             per_core=args.scale, seed=args.seed)
     if args.profile:
         import cProfile
         import pstats
@@ -148,33 +171,49 @@ def cmd_report(args) -> int:
         default_settings,
     )
 
+    jobs = _apply_jobs(args)
     settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
                                   seed=args.seed,
                                   workloads=default_settings().workloads)
-    engine = ExperimentEngine(jobs=args.jobs) if args.jobs else None
-    matrix = ResultMatrix(settings, engine=engine)
-    if args.out:
-        with open(args.out, "w") as fh:
-            write_report(matrix, out=fh)
-        print(f"report written to {args.out}")
-    else:
-        write_report(matrix)
+    engine = ExperimentEngine(jobs=jobs) if jobs else ExperimentEngine()
+    try:
+        matrix = ResultMatrix(settings, engine=engine)
+        if args.out:
+            with open(args.out, "w") as fh:
+                write_report(matrix, out=fh)
+            print(f"report written to {args.out}")
+        else:
+            write_report(matrix)
+    finally:
+        engine.close()
     return 0
 
 
 def cmd_bench(args) -> int:
     from repro.experiments.bench import render, run_bench
 
-    report = run_bench(quick=args.quick, jobs=args.jobs or None,
+    jobs = _apply_jobs(args)
+    report = run_bench(quick=args.quick, jobs=jobs,
                        out_path=args.out,
                        record_baseline=args.record_baseline)
     print(render(report))
     print(f"\nbench report written to {args.out}")
-    if args.assert_warm and not report["sweep"]["warm_all_hits"]:
-        print("FAIL: warm sweep was not 100% cache hits "
-              f"({report['sweep']['warm_cache_hits']} hits, "
-              f"{report['sweep']['warm_simulated']} simulated)")
-        return 1
+    if args.assert_warm:
+        sweep = report["sweep"]
+        if not sweep["warm_all_hits"]:
+            print("FAIL: warm sweep was not 100% cache hits "
+                  f"({sweep['warm_cache_hits']} hits, "
+                  f"{sweep['warm_simulated']} simulated)")
+            return 1
+        # With a real worker pool, fan-out losing to serial is a
+        # regression (the PR-2 0.9x slip) — fail loudly.
+        if (sweep["parallel_jobs"] > 1
+                and sweep["parallel_speedup"] < args.min_parallel_speedup):
+            print(f"FAIL: parallel cold sweep speedup "
+                  f"{sweep['parallel_speedup']}x with "
+                  f"{sweep['parallel_jobs']} jobs (required >= "
+                  f"{args.min_parallel_speedup}x)")
+            return 1
     return 0
 
 
@@ -311,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top-20 functions "
                         "by cumulative time")
+    _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_run)
 
@@ -321,8 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("report", help="regenerate every table/figure")
     p.add_argument("--out", default="")
-    p.add_argument("--jobs", type=int, default=0,
-                   help="worker processes (default: REPRO_JOBS or all cores)")
+    _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_report)
 
@@ -331,11 +370,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "path; write BENCH_protozoa.json")
     p.add_argument("--quick", action="store_true",
                    help="small matrix for CI smoke runs")
-    p.add_argument("--jobs", type=int, default=0,
-                   help="worker processes (default: REPRO_JOBS or all cores)")
+    _add_jobs_arg(p)
     p.add_argument("--out", default="BENCH_protozoa.json")
     p.add_argument("--assert-warm", action="store_true",
-                   help="exit nonzero unless the warm sweep was 100%% cache hits")
+                   help="exit nonzero unless the warm sweep was 100%% cache "
+                        "hits and (with >1 job) the parallel cold sweep met "
+                        "--min-parallel-speedup")
+    p.add_argument("--min-parallel-speedup", type=float, default=1.0,
+                   help="parallel-vs-serial cold sweep speedup --assert-warm "
+                        "requires when jobs > 1 (default 1.0)")
     p.add_argument("--record-baseline", action="store_true",
                    help="re-record benchmarks/baseline_protozoa.json from this "
                         "machine's microbenchmark")

@@ -1,18 +1,28 @@
 """``repro bench``: the repository's performance trajectory, as data.
 
-Times three things and writes them to ``BENCH_protozoa.json``:
+Times four things and writes them to ``BENCH_protozoa.json``:
 
+* **trace prewarm** — packing every workload trace the sweeps replay
+  into the (scratch) trace cache, once per recipe;
 * **cold sweep, serial** — the (workload x protocol) matrix through the
   experiment engine with one job and an empty result cache;
 * **cold sweep, parallel / warm sweep** — the same matrix fanned out over
   the worker pool into a second empty cache, then replayed against that
   now-populated cache (a warm sweep must be 100% cache hits);
 * **single-run microbenchmark** — accesses/second through one simulation
-  (the coherence transaction hot path), compared against the pre-PR
-  baseline recorded in ``benchmarks/baseline_protozoa.json``.
+  (the coherence transaction hot path, packed replay), compared against
+  the pre-PR baseline recorded in ``benchmarks/baseline_protozoa.json``.
+
+Sweeps run against *scratch* result and trace caches, so the serial and
+parallel phases both replay prebuilt packed traces and differ only in
+fan-out; worker-pool start-up happens before the clock starts (it is a
+per-process cost, not a per-sweep one).  Each sweep phase records the
+worker count it actually used.
 
 ``--quick`` shrinks the matrix for CI smoke runs; ``--assert-warm`` fails
-the invocation unless the warm sweep never missed the cache;
+the invocation unless the warm sweep never missed the cache *and* (with
+more than one job) the cold parallel sweep kept up with serial —
+``--min-parallel-speedup`` sets that bar (default 1.0);
 ``--record-baseline`` re-records the microbenchmark baseline for this
 machine (do this once per hardware change, before optimization work).
 """
@@ -20,6 +30,7 @@ machine (do this once per hardware change, before optimization work).
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import tempfile
 import time
@@ -35,8 +46,9 @@ from repro.experiments.engine import (
     execute_spec,
 )
 from repro.experiments.runner import ALL_PROTOCOLS
+from repro.trace.cache import TraceCache
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 
 #: Microbenchmark recipe — keep in lockstep with benchmarks/baseline_protozoa.json
 #: (comparing against a baseline recorded under a different recipe is noise).
@@ -66,14 +78,38 @@ def matrix_specs(workloads, cores: int, per_core: int, seed: int = 0) -> List[Ru
             for name in workloads for protocol in ALL_PROTOCOLS]
 
 
-def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
-    """One engine sweep against ``cache_root``; returns timing + cache stats."""
-    engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_root, enabled=True))
+def prewarm_traces(specs: List[RunSpec]) -> Dict:
+    """Pack every distinct trace recipe the specs replay; returns timing."""
+    recipes = sorted({(s.workload, s.cores, s.per_core, s.seed) for s in specs})
+    cache = TraceCache()
     start = time.perf_counter()
-    results = engine.run_many(specs)
-    elapsed = time.perf_counter() - start
+    for workload, cores, per_core, seed in recipes:
+        cache.get_or_build(workload, cores=cores, per_core=per_core, seed=seed)
+    return {
+        "seconds": time.perf_counter() - start,
+        "traces": len(recipes),
+        "built": cache.built,
+    }
+
+
+def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
+    """One engine sweep against ``cache_root``; returns timing + cache stats.
+
+    The worker pool is warmed *before* the clock starts: pool start-up is
+    paid once per engine, and the sweep time should measure throughput,
+    not process creation.
+    """
+    engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_root, enabled=True))
+    try:
+        engine.warm_pool()
+        start = time.perf_counter()
+        results = engine.run_many(specs)
+        elapsed = time.perf_counter() - start
+    finally:
+        engine.close()
     return {
         "seconds": elapsed,
+        "jobs": engine.jobs,
         "cells": len(results),
         "cache_hits": engine.cache.hits,
         "simulated": engine.executed,
@@ -106,20 +142,29 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
               record_baseline: bool = False) -> Dict:
     jobs = default_jobs() if jobs is None else max(1, jobs)
     if quick:
-        workloads, cores, per_core, repeats = QUICK_WORKLOADS, 8, 200, 3
+        # per_core=500 keeps the timed region long enough (~0.5s serial)
+        # that the parallel-speedup guard is not dominated by timer noise.
+        workloads, cores, per_core, repeats = QUICK_WORKLOADS, 8, 500, 3
     else:
         workloads, cores, per_core, repeats = FULL_WORKLOADS, 16, 1000, 5
     specs = matrix_specs(workloads, cores=cores, per_core=per_core)
 
     scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    old_trace_dir = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = str(scratch / "traces")
     try:
+        prewarm = prewarm_traces(specs + [MICROBENCH])
         serial_cold = time_sweep(specs, jobs=1, cache_root=scratch / "serial")
         parallel_cold = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
         warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
+        single = time_single_run(MICROBENCH, repeats=repeats)
     finally:
+        if old_trace_dir is None:
+            os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_TRACE_CACHE_DIR"] = old_trace_dir
         shutil.rmtree(scratch, ignore_errors=True)
 
-    single = time_single_run(MICROBENCH, repeats=repeats)
     if record_baseline:
         payload = {
             "comment": "Pre-optimization hot-path baseline for `repro bench`. "
@@ -158,9 +203,14 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
             "cells": len(specs),
         },
         "sweep": {
+            "trace_prewarm_s": round(prewarm["seconds"], 3),
+            "traces_packed": prewarm["built"],
             "serial_cold_s": round(serial_cold["seconds"], 3),
+            "serial_jobs": serial_cold["jobs"],
             "parallel_cold_s": round(parallel_cold["seconds"], 3),
+            "parallel_jobs": parallel_cold["jobs"],
             "warm_s": round(warm["seconds"], 3),
+            "warm_jobs": warm["jobs"],
             "parallel_speedup": round(
                 serial_cold["seconds"] / parallel_cold["seconds"], 2),
             "warm_speedup_vs_cold": round(
@@ -187,10 +237,14 @@ def render(report: Dict) -> str:
         f"({len(report['matrix']['workloads'])} workloads x "
         f"{len(report['matrix']['protocols'])} protocols), "
         f"{report['matrix']['cores']} cores x "
-        f"{report['matrix']['per_core']} accesses, {report['jobs']} jobs",
-        f"cold sweep (serial):    {sweep['serial_cold_s']:8.3f}s",
+        f"{report['matrix']['per_core']} accesses",
+        f"trace prewarm:          {sweep['trace_prewarm_s']:8.3f}s  "
+        f"({sweep['traces_packed']} packed traces)",
+        f"cold sweep (serial):    {sweep['serial_cold_s']:8.3f}s  "
+        f"({sweep['serial_jobs']} job)",
         f"cold sweep (parallel):  {sweep['parallel_cold_s']:8.3f}s  "
-        f"({sweep['parallel_speedup']}x vs serial)",
+        f"({sweep['parallel_jobs']} jobs, "
+        f"{sweep['parallel_speedup']}x vs serial)",
         f"warm sweep:             {sweep['warm_s']:8.3f}s  "
         f"({sweep['warm_speedup_vs_cold']}x vs cold, "
         f"{sweep['warm_cache_hits']}/{report['matrix']['cells']} cache hits)",

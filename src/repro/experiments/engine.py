@@ -16,20 +16,36 @@ content-addressed by the full run recipe:
   Entries are written atomically (temp file + rename) so concurrent
   engines never observe torn results.  ``REPRO_CACHE=0`` disables it.
 * **ExperimentEngine** — cache-aware execution.  ``run()`` serves one
-  spec; ``run_many()`` fans cache misses out over a
+  spec; ``run_many()`` fans cache misses out over a persistent
   ``ProcessPoolExecutor`` sized by ``$REPRO_JOBS`` (default: all cores),
   falling back to in-process serial execution when ``REPRO_JOBS=1``.
 
-Simulations are deterministic, so parallel, serial, and cached results
-are bit-identical (``tests/experiments/test_engine.py`` pins this down).
+The fan-out path is built so pool overhead stays off the hot path:
+
+* the **pool is created once per engine** and reused across every
+  ``run_many()`` call; its initializer pre-imports the simulation stack
+  and pins the trace-cache directory, so workers pay import cost once,
+  not per task;
+* specs are submitted in **chunks** so task IPC amortizes over several
+  simulations;
+* workers replay **packed traces** from the content-addressed trace
+  cache (:mod:`repro.trace.cache`) instead of regenerating workload
+  streams, and return one compact JSON blob per result, which the
+  parent writes to the result cache verbatim (one parse to build the
+  in-memory ``RunResult``, no dict round-trip).
+
+Simulations are deterministic, so parallel, serial, cached, and
+packed-vs-object results are bit-identical
+(``tests/experiments/test_engine.py`` pins this down).
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
+import hashlib
 import os
 import tempfile
+import weakref
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,11 +54,16 @@ from typing import Dict, Iterable, List, Optional
 from repro.common.params import ProtocolKind, SystemConfig
 from repro.system.machine import simulate
 from repro.system.results import RunResult
+from repro.trace.cache import packed_streams, trace_cache_dir
 from repro.trace.workloads import build_streams
 
 #: Bump whenever simulation behaviour or the serialized result layout
 #: changes: every previously cached entry becomes unreachable.
 SCHEMA_VERSION = 1
+
+#: Chunks submitted per worker per ``run_many`` batch: small enough to
+#: load-balance uneven cells, large enough to amortize task IPC.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -91,16 +112,49 @@ class RunSpec:
         return hashlib.sha256(blob).hexdigest()
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one spec in-process (no cache involvement)."""
+def execute_spec(spec: RunSpec, packed: bool = True) -> RunResult:
+    """Run one spec in-process (no result-cache involvement).
+
+    With ``packed`` (the default) the trace comes from the packed trace
+    cache — built at most once per recipe, replayed with no per-event
+    objects.  ``packed=False`` regenerates ``MemAccess`` streams; the
+    equivalence tests pin both paths to bit-identical results.
+    """
+    if packed:
+        trace = packed_streams(spec.workload, cores=spec.cores,
+                               per_core=spec.per_core, seed=spec.seed)
+        return simulate(trace, spec.config(), name=spec.workload)
     streams = build_streams(spec.workload, cores=spec.cores,
                             per_core=spec.per_core, seed=spec.seed)
     return simulate(streams, spec.config(), name=spec.workload)
 
 
+def _serialize_result(result: RunResult) -> str:
+    """The compact wire/cache form shipped back from pool workers."""
+    return json.dumps(result.to_dict(), separators=(",", ":"))
+
+
+def _pool_init(trace_dir: str) -> None:
+    """Worker initializer: pin the trace cache, pre-import the machine.
+
+    Runs once per worker process (not per task), so spawn-started pools
+    agree with the parent on trace-cache location and every heavy import
+    is paid before the first task arrives.
+    """
+    if trace_dir:
+        os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
+    import repro.system.machine  # noqa: F401
+
+
 def _worker_run(payload: Dict) -> Dict:
-    """Process-pool entry point: recipe in, portable result out."""
+    """Single-spec pool entry point (kept for compatibility)."""
     return execute_spec(RunSpec.from_payload(payload)).to_dict()
+
+
+def _worker_run_chunk(payloads: List[Dict]) -> List[str]:
+    """Chunked pool entry point: recipes in, compact serialized results out."""
+    return [_serialize_result(execute_spec(RunSpec.from_payload(payload)))
+            for payload in payloads]
 
 
 def default_cache_dir() -> Path:
@@ -118,7 +172,13 @@ def default_jobs() -> int:
     env = os.environ.get("REPRO_JOBS", "")
     if env:
         return max(1, int(env))
-    return os.cpu_count() or 1
+    # The affinity mask sees cgroup/taskset limits that cpu_count() does
+    # not; oversubscribing a restricted container just thrashes the
+    # scheduler.
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 class ResultCache:
@@ -150,15 +210,12 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, spec: RunSpec, result: RunResult) -> None:
-        if not self.enabled:
-            return
-        path = self.path_for(spec)
+    def _write_atomic(self, path: Path, blob: str) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(result.to_dict(), fh)
+                fh.write(blob)
             os.replace(tmp, path)  # atomic on POSIX
         except BaseException:
             try:
@@ -167,15 +224,72 @@ class ResultCache:
                 pass
             raise
 
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        if not self.enabled:
+            return
+        self._write_atomic(self.path_for(spec), _serialize_result(result))
+
+    def put_blob(self, spec: RunSpec, blob: str) -> None:
+        """Store an already-serialized result verbatim (the pool path)."""
+        if not self.enabled:
+            return
+        self._write_atomic(self.path_for(spec), blob)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+
 
 class ExperimentEngine:
-    """Cache-aware, optionally parallel execution of run specs."""
+    """Cache-aware, optionally parallel execution of run specs.
+
+    The worker pool is created lazily on the first fan-out and persists
+    for the engine's lifetime; ``close()`` (or using the engine as a
+    context manager) shuts it down, and a dropped engine cleans up via a
+    finalizer.  ``warm_pool()`` spins the workers up eagerly — call it
+    before a timed region so pool start-up is not attributed to the
+    sweep being measured.
+    """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None):
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = cache if cache is not None else ResultCache()
         self.executed = 0  # specs actually simulated (cache misses)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def warm_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent pool (created on first use; ``None`` if serial)."""
+        if self.jobs <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_init,
+                initargs=(str(trace_cache_dir()),),
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the engine stays usable (serially
+        it never had one, and a later fan-out recreates it)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # idempotent; detaches after first call
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- single run ----------------------------------------------------------
 
@@ -194,6 +308,10 @@ class ExperimentEngine:
         """Serve every spec, fanning cache misses out across the pool.
 
         Results are keyed by spec; duplicate specs collapse to one run.
+        Misses are submitted to the persistent pool in chunks
+        (``_CHUNKS_PER_WORKER`` per worker) so several simulations share
+        one task's IPC; each worker ships back compact JSON blobs that
+        land in the result cache byte-for-byte.
         """
         out: Dict[RunSpec, RunResult] = {}
         todo: List[RunSpec] = []
@@ -216,14 +334,17 @@ class ExperimentEngine:
                 self.cache.put(spec, result)
                 out[spec] = result
             return out
-        workers = min(self.jobs, len(todo))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_worker_run, spec.payload()): spec
-                       for spec in todo}
-            for future in as_completed(futures):
-                spec = futures[future]
-                result = RunResult.from_dict(future.result())
+        pool = self.warm_pool()
+        size = max(1, -(-len(todo) // (self.jobs * _CHUNKS_PER_WORKER)))
+        chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
+        futures = {
+            pool.submit(_worker_run_chunk, [s.payload() for s in chunk]): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            for spec, blob in zip(chunk, future.result()):
                 self.executed += 1
-                self.cache.put(spec, result)
-                out[spec] = result
+                self.cache.put_blob(spec, blob)
+                out[spec] = RunResult.from_dict(json.loads(blob))
         return out

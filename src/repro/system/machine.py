@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Optional
 
 from repro.coherence.mesi import MESIProtocol
 from repro.coherence.protocol_base import CoherenceProtocol
@@ -10,8 +10,7 @@ from repro.coherence.protozoa_multi import ProtozoaMWProtocol, ProtozoaSWMRProto
 from repro.coherence.protozoa_sw import ProtozoaSWProtocol
 from repro.common.params import ProtocolKind, SystemConfig
 from repro.system.results import RunResult
-from repro.system.simulator import Simulator
-from repro.trace.events import MemAccess
+from repro.system.simulator import Simulator, Streams
 
 _PROTOCOLS = {
     ProtocolKind.MESI: MESIProtocol,
@@ -26,9 +25,14 @@ def build_protocol(config: SystemConfig) -> CoherenceProtocol:
     return _PROTOCOLS[config.protocol](config)
 
 
-def simulate(streams: List[Iterable[MemAccess]], config: SystemConfig,
+def simulate(streams: Streams, config: SystemConfig,
              name: str = "", max_accesses: Optional[int] = None) -> RunResult:
-    """Build a machine, run the streams through it, and package the result."""
+    """Build a machine, run the streams through it, and package the result.
+
+    ``streams`` is either per-core ``MemAccess`` iterables or a
+    :class:`~repro.trace.packed.PackedTrace`; both replay identically
+    (the packed form just skips per-event object construction).
+    """
     protocol = build_protocol(config)
     simulator = Simulator(protocol, streams)
     stats = simulator.run(max_accesses=max_accesses)

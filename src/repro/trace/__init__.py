@@ -1,6 +1,8 @@
 """Synthetic workload traces standing in for the paper's 28 benchmarks."""
 
+from repro.trace.cache import TraceCache, packed_streams
 from repro.trace.events import MemAccess
+from repro.trace.packed import PackedTrace
 from repro.trace.patterns import (
     false_sharing_counter,
     migratory_regions,
@@ -15,6 +17,9 @@ from repro.trace.workloads import WORKLOADS, WorkloadSpec, build_streams, get_wo
 
 __all__ = [
     "MemAccess",
+    "PackedTrace",
+    "TraceCache",
+    "packed_streams",
     "WORKLOADS",
     "WorkloadSpec",
     "build_streams",

@@ -125,3 +125,71 @@ class TestCommands:
         assert rc == 0
         text = out.read_text()
         assert "Table 1" in text and "Figure 15" in text
+
+
+class TestJobsFlag:
+    def test_every_engine_command_accepts_jobs(self):
+        parser = build_parser()
+        for argv in (["run", "--workload", "kmeans", "--jobs", "3"],
+                     ["report", "--jobs", "3"],
+                     ["bench", "--jobs", "3"]):
+            args = parser.parse_args(argv)
+            assert args.jobs == 3
+
+    def test_jobs_flag_overrides_repro_jobs_env(self, monkeypatch, capsys):
+        from repro.experiments.engine import default_jobs
+
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        rc = main(["run", "--workload", "linear-regression", "--protocol",
+                   "mesi", "--scale", "50", "--cores", "2", "--jobs", "2"])
+        assert rc == 0
+        assert default_jobs() == 2
+
+    def test_bench_quick_records_per_phase_jobs(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--quick", "--jobs", "1", "--assert-warm",
+                   "--out", str(out)])
+        assert rc == 0
+        import json as json_mod
+        report = json_mod.loads(out.read_text())
+        sweep = report["sweep"]
+        assert sweep["serial_jobs"] == 1
+        assert sweep["parallel_jobs"] == 1
+        assert sweep["warm_jobs"] == 1
+        assert sweep["warm_all_hits"] is True
+        assert report["jobs"] == 1
+        assert "trace_prewarm_s" in sweep
+        rendered = capsys.readouterr().out
+        assert "trace prewarm" in rendered
+
+    def test_assert_warm_fails_on_slow_parallel_sweep(self, monkeypatch, capsys):
+        """jobs > 1 and speedup below the bar => exit 1 with a FAIL line."""
+        import repro.experiments.bench  # ensure the module is importable
+
+        def fake_run_bench(**kwargs):
+            return {
+                "schema": 2, "quick": True, "jobs": 2,
+                "matrix": {"workloads": [], "protocols": [], "cores": 8,
+                           "per_core": 500, "cells": 8},
+                "sweep": {"trace_prewarm_s": 0.0, "traces_packed": 0,
+                          "serial_cold_s": 1.0, "serial_jobs": 1,
+                          "parallel_cold_s": 1.25, "parallel_jobs": 2,
+                          "warm_s": 0.001, "warm_jobs": 2,
+                          "parallel_speedup": 0.8,
+                          "warm_speedup_vs_cold": 100.0,
+                          "warm_cache_hits": 8, "warm_simulated": 0,
+                          "warm_all_hits": True},
+                "single_run": {"workload": "kmeans", "protocol": "protozoa-mw",
+                               "cores": 16, "per_core": 2000, "repeats": 3,
+                               "accesses": 1, "accesses_per_sec": 1.0,
+                               "baseline_accesses_per_sec": None,
+                               "improvement_pct": None},
+            }
+
+        monkeypatch.setattr("repro.experiments.bench.run_bench", fake_run_bench)
+        rc = main(["bench", "--quick", "--assert-warm"])
+        assert rc == 1
+        assert "FAIL: parallel cold sweep" in capsys.readouterr().out
+        rc = main(["bench", "--quick", "--assert-warm",
+                   "--min-parallel-speedup", "0.75"])
+        assert rc == 0

@@ -25,6 +25,23 @@ def _hermetic_result_cache(tmp_path_factory):
     else:
         os.environ["REPRO_CACHE_DIR"] = old
 
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_trace_cache(tmp_path_factory):
+    """Point the packed trace cache at a session tempdir (same contract as
+    the result-cache fixture: no reads from or writes to the user's real
+    ``~/.cache/repro/traces``)."""
+    import os
+
+    old = os.environ.get("REPRO_TRACE_CACHE_DIR")
+    os.environ["REPRO_TRACE_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-trace-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_TRACE_CACHE_DIR"] = old
+
 ALL_KINDS = list(ProtocolKind)
 PROTOZOA_KINDS = [k for k in ALL_KINDS if k is not ProtocolKind.MESI]
 

@@ -89,14 +89,29 @@ class TestSerialization:
         assert clone.stats.truncated is True
 
 
+class TestPackedParity:
+    """Packed replay (the engine's default) == object-stream replay."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                             ids=[p.short_name for p in ALL_PROTOCOLS])
+    def test_packed_and_object_replay_bit_identical(self, protocol):
+        spec = RunSpec("histogram", protocol, cores=4, per_core=150)
+        packed = execute_spec(spec, packed=True)
+        objects = execute_spec(spec, packed=False)
+        assert packed.stats.to_dict() == objects.stats.to_dict()
+        assert packed.flit_hops() == objects.flit_hops()
+        assert packed.dir_owned_buckets() == objects.dir_owned_buckets()
+        assert packed.to_dict() == objects.to_dict()
+
+
 class TestParallelParity:
     def test_parallel_sweep_bit_identical_to_serial(self, tmp_path):
         """All four protocols x two workloads: pool results == in-process."""
         specs = specs_for()
         serial = {spec: execute_spec(spec) for spec in specs}
-        engine = ExperimentEngine(jobs=2,
-                                  cache=ResultCache(tmp_path, enabled=True))
-        parallel = engine.run_many(specs)
+        with ExperimentEngine(jobs=2,
+                              cache=ResultCache(tmp_path, enabled=True)) as engine:
+            parallel = engine.run_many(specs)
         assert engine.executed == len(specs)
         assert set(parallel) == set(serial)
         for spec in specs:
@@ -104,6 +119,47 @@ class TestParallelParity:
             assert parallel[spec].flit_hops() == serial[spec].flit_hops()
             assert (parallel[spec].dir_owned_buckets()
                     == serial[spec].dir_owned_buckets())
+
+    def test_pool_persists_across_run_many_calls(self, tmp_path):
+        """One engine, many batches: the worker pool is created once."""
+        with ExperimentEngine(jobs=2,
+                              cache=ResultCache(tmp_path, enabled=True)) as engine:
+            pool = engine.warm_pool()
+            assert pool is not None
+            engine.run_many(specs_for(per_core=60))
+            assert engine.warm_pool() is pool
+            engine.run_many(specs_for(per_core=80))
+            assert engine.warm_pool() is pool
+        assert engine._pool is None  # closed on exit
+
+    def test_serial_engine_never_creates_a_pool(self, tmp_path):
+        engine = ExperimentEngine(jobs=1,
+                                  cache=ResultCache(tmp_path, enabled=True))
+        assert engine.warm_pool() is None
+        engine.run_many(specs_for(per_core=60))
+        assert engine._pool is None
+        engine.close()  # no-op, must not raise
+
+    def test_close_is_idempotent_and_pool_recreates(self, tmp_path):
+        engine = ExperimentEngine(jobs=2,
+                                  cache=ResultCache(tmp_path, enabled=True))
+        first = engine.warm_pool()
+        engine.close()
+        engine.close()
+        second = engine.warm_pool()
+        assert second is not None and second is not first
+        engine.close()
+
+    def test_parallel_results_land_in_cache_as_canonical_json(self, tmp_path):
+        """Worker blobs written verbatim must equal a local serialization."""
+        spec = RunSpec("kmeans", ProtocolKind.MESI, cores=4, per_core=120)
+        other = RunSpec("histogram", ProtocolKind.MESI, cores=4, per_core=120)
+        with ExperimentEngine(jobs=2,
+                              cache=ResultCache(tmp_path, enabled=True)) as engine:
+            engine.run_many([spec, other])
+        blob = engine.cache.path_for(spec).read_text()
+        local = execute_spec(spec)
+        assert json.loads(blob) == local.to_dict()
 
     def test_warm_sweep_is_pure_cache_hits(self, tmp_path):
         specs = specs_for()

@@ -1,0 +1,171 @@
+"""PackedTrace: columnar round-trips, binary format, replay parity."""
+
+import io
+import struct
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.system.machine import simulate
+from repro.trace.events import MemAccess
+from repro.trace.io import read_trace, write_trace
+from repro.trace.packed import FORMAT_VERSION, PackedTrace
+from repro.trace.workloads import build_streams
+
+
+def fields(stream):
+    return [(e.is_write, e.addr, e.size, e.pc, e.think) for e in stream]
+
+
+def sample_streams():
+    return [
+        [MemAccess.read(0x100, 8, 0x40, 3), MemAccess.write(0x108, 4, 0x44, 0)],
+        [],
+        [MemAccess.write(0x2000, 16, 0x50, 7)],
+    ]
+
+
+class TestStreamRoundTrip:
+    def test_streams_round_trip_preserves_every_field(self):
+        streams = sample_streams()
+        packed = PackedTrace.from_streams(streams)
+        assert packed.cores == 3
+        assert packed.counts == [2, 0, 1]
+        assert len(packed) == 3
+        for orig, back in zip(streams, packed.streams()):
+            assert fields(orig) == fields(back)
+
+    def test_workload_round_trip_exact(self):
+        streams = build_streams("histogram", cores=4, per_core=150)
+        packed = PackedTrace.from_streams(streams)
+        for orig, back in zip(streams, packed.streams()):
+            assert fields(orig) == fields(back)
+
+    def test_text_io_and_packed_agree(self):
+        """text format -> MemAccess -> PackedTrace -> MemAccess -> text."""
+        streams = build_streams("kmeans", cores=4, per_core=100)
+        buf = io.StringIO()
+        write_trace(streams, buf)
+        buf.seek(0)
+        packed = PackedTrace.from_streams(read_trace(buf))
+        assert packed == PackedTrace.from_streams(streams)
+        buf2 = io.StringIO()
+        write_trace(packed.streams(), buf2)
+        assert buf.getvalue() == buf2.getvalue()
+
+    def test_text_reader_rejects_negative_addr(self):
+        text = "#repro-trace v1 cores=1\n0 R -10 8 0 0\n"
+        with pytest.raises(SimulationError):
+            read_trace(io.StringIO(text))
+
+    def test_iter_core_revalidates_records(self):
+        """Tampered columns fail the MemAccess addr<0 invariant on replay."""
+        packed = PackedTrace.from_streams([[MemAccess.read(0x100)]])
+        packed.core_columns(0)[1][0] = -1  # addr column
+        with pytest.raises(ValueError):
+            list(packed.iter_core(0))
+
+    def test_equality(self):
+        a = PackedTrace.from_streams(sample_streams())
+        b = PackedTrace.from_streams(sample_streams())
+        assert a == b
+        b.core_columns(0)[4][0] += 1  # think column
+        assert a != b
+
+
+class TestBinaryFormat:
+    def test_bytes_round_trip(self):
+        packed = PackedTrace.from_streams(sample_streams())
+        clone = PackedTrace.loads(packed.dumps())
+        assert clone == packed
+
+    def test_file_round_trip_via_mmap(self, tmp_path):
+        packed = PackedTrace.from_streams(
+            build_streams("histogram", cores=4, per_core=80))
+        path = tmp_path / "t.bin"
+        with open(path, "wb") as fh:
+            n = packed.dump(fh)
+        assert path.stat().st_size == n
+        assert PackedTrace.load(path) == packed
+
+    def test_empty_cores_round_trip(self):
+        packed = PackedTrace.from_streams([[], []])
+        clone = PackedTrace.loads(packed.dumps())
+        assert clone.cores == 2
+        assert clone.counts == [0, 0]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SimulationError):
+            PackedTrace.loads(b"NOTATRACE" + b"\x00" * 32)
+
+    def test_unknown_version_rejected(self):
+        blob = bytearray(PackedTrace.from_streams([[]]).dumps())
+        blob[8] = FORMAT_VERSION + 1  # version byte follows the 8-byte magic
+        with pytest.raises(SimulationError):
+            PackedTrace.loads(bytes(blob))
+
+    def test_truncated_file_rejected(self, tmp_path):
+        packed = PackedTrace.from_streams(sample_streams())
+        blob = packed.dumps()
+        for cut in (0, 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(SimulationError):
+                PackedTrace.loads(blob[:cut])
+        path = tmp_path / "cut.bin"
+        path.write_bytes(blob[:len(blob) - 3])
+        with pytest.raises(SimulationError):
+            PackedTrace.load(path)
+
+    def test_trailing_garbage_rejected(self):
+        blob = PackedTrace.from_streams(sample_streams()).dumps()
+        with pytest.raises(SimulationError):
+            PackedTrace.loads(blob + b"\x00")
+
+    def test_negative_addr_in_file_rejected(self):
+        packed = PackedTrace.from_streams([[MemAccess.read(0x100)]])
+        packed.core_columns(0)[1][0] = -5  # addr column
+        with pytest.raises(SimulationError):
+            PackedTrace.loads(packed.dumps())
+
+    def test_invalid_size_in_file_rejected(self):
+        packed = PackedTrace.from_streams([[MemAccess.read(0x100)]])
+        packed.core_columns(0)[2][0] = 0  # size column
+        with pytest.raises(SimulationError):
+            PackedTrace.loads(packed.dumps())
+
+    def test_header_layout_is_stable(self):
+        """The on-disk prefix is pinned: magic, version, endian, cores."""
+        blob = PackedTrace.from_streams([[], [], []]).dumps()
+        magic, version, _, _, cores = struct.unpack_from("<8sBBHI", blob, 0)
+        assert magic == b"REPROPKT"
+        assert version == FORMAT_VERSION
+        assert cores == 3
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("kind", list(ProtocolKind),
+                             ids=[k.short_name for k in ProtocolKind])
+    def test_packed_replay_bit_identical_to_object_replay(self, kind):
+        streams = build_streams("histogram", cores=4, per_core=150)
+        packed = PackedTrace.from_streams(streams)
+        config = SystemConfig(protocol=kind, cores=4)
+        a = simulate(streams, config, name="h")
+        b = simulate(packed, config, name="h")
+        assert a.stats.to_dict() == b.stats.to_dict()
+        assert a.flit_hops() == b.flit_hops()
+        assert a.dir_owned_buckets() == b.dir_owned_buckets()
+
+    def test_packed_replay_honours_max_accesses(self):
+        streams = build_streams("kmeans", cores=4, per_core=100)
+        packed = PackedTrace.from_streams(streams)
+        config = SystemConfig(protocol=ProtocolKind.MESI, cores=4)
+        a = simulate(streams, config, max_accesses=37)
+        b = simulate(packed, config, max_accesses=37)
+        assert a.stats.truncated and b.stats.truncated
+        assert a.stats.to_dict() == b.stats.to_dict()
+
+    def test_packed_rejects_too_many_streams(self):
+        packed = PackedTrace.from_streams([[MemAccess.read(0)]] * 8)
+        config = SystemConfig(protocol=ProtocolKind.MESI, cores=4)
+        with pytest.raises(SimulationError):
+            simulate(packed, config)
