@@ -11,7 +11,7 @@ in hardware with no source changes.
 Run:  python examples/false_sharing_lab.py
 """
 
-from repro import MemAccess, ProtocolKind, SystemConfig, simulate
+from repro.api import MemAccess, ProtocolKind, SystemConfig, simulate
 
 CORES = 8
 ITERS = 300

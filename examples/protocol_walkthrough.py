@@ -14,7 +14,7 @@ message as it flows, to show
 Run:  python examples/protocol_walkthrough.py
 """
 
-from repro import PredictorKind, ProtocolKind, SystemConfig, build_protocol
+from repro.api import PredictorKind, ProtocolKind, SystemConfig, build_machine
 
 REGION_BASE = 0x1000  # region 64 (0x1000/64); words at base + 8*w
 
@@ -48,7 +48,7 @@ def figure4() -> None:
     print("=" * 64)
     # The single-word predictor makes every request exactly the accessed
     # words, matching the paper's hand-drawn figures.
-    protocol = build_protocol(
+    protocol = build_machine(
         SystemConfig(protocol=ProtocolKind.PROTOZOA_SW, cores=4,
                      predictor=PredictorKind.SINGLE_WORD))
     log = attach_tracer(protocol)
@@ -68,7 +68,7 @@ def figure7() -> None:
     print("=" * 64)
     print("Figure 7: GETX handling in Protozoa-MW")
     print("=" * 64)
-    protocol = build_protocol(
+    protocol = build_machine(
         SystemConfig(protocol=ProtocolKind.PROTOZOA_MW, cores=4,
                      predictor=PredictorKind.SINGLE_WORD))
     log = attach_tracer(protocol)

@@ -16,7 +16,7 @@ coherence traffic at all.
 Run:  python examples/quickstart.py
 """
 
-from repro import MemAccess, ProtocolKind, SystemConfig, simulate
+from repro.api import MemAccess, ProtocolKind, SystemConfig, simulate
 
 ITERS = 500
 THREADS = 2

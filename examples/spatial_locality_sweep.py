@@ -18,7 +18,7 @@ Run:  python examples/spatial_locality_sweep.py
 import itertools
 import random
 
-from repro import MemAccess, ProtocolKind, SystemConfig, simulate
+from repro.api import MemAccess, ProtocolKind, SystemConfig, simulate
 
 CORES = 4
 PER_CORE = 4000

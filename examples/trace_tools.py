@@ -12,10 +12,17 @@ Run:  python examples/trace_tools.py
 """
 
 import tempfile
+from pathlib import Path
 
-from repro import ProtocolKind, SystemConfig, build_streams, simulate
-from repro.trace.analysis import profile_streams
-from repro.trace.io import read_trace, write_trace
+from repro.api import (
+    ProtocolKind,
+    SystemConfig,
+    build_streams,
+    load_trace,
+    profile_streams,
+    save_trace,
+    simulate,
+)
 
 WORKLOAD = "histogram"
 CORES = 8
@@ -25,10 +32,10 @@ PER_CORE = 1500
 def main() -> None:
     streams = build_streams(WORKLOAD, cores=CORES, per_core=PER_CORE)
 
-    with tempfile.NamedTemporaryFile("w+", suffix=".trace") as fh:
-        count = write_trace(streams, fh)
-        fh.seek(0)
-        replayable = read_trace(fh)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{WORKLOAD}.trace"
+        count = save_trace(streams, path)
+        replayable = load_trace(path)
     print(f"1. dumped {count} records of '{WORKLOAD}' "
           f"({CORES} cores x {PER_CORE}) and read them back\n")
 
@@ -42,11 +49,11 @@ def main() -> None:
     print("3. identical trace under two protocols:")
     print(f"   {'protocol':>10} {'misses':>8} {'traffic(B)':>11} {'used%':>7}")
     for kind in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_MW):
-        with tempfile.NamedTemporaryFile("w+", suffix=".trace") as fh:
-            write_trace(build_streams(WORKLOAD, cores=CORES,
-                                      per_core=PER_CORE), fh)
-            fh.seek(0)
-            trace = read_trace(fh)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / f"{WORKLOAD}.trace"
+            save_trace(build_streams(WORKLOAD, cores=CORES,
+                                     per_core=PER_CORE), path)
+            trace = load_trace(path)
         result = simulate(trace, SystemConfig(protocol=kind, cores=CORES),
                           name=WORKLOAD)
         print(f"   {kind.short_name:>10} {result.stats.misses:>8} "

@@ -6,65 +6,94 @@ MESI baseline, and the three Protozoa protocols (SW, SW+MR, MW), plus the
 synthetic workload suite, statistics, and experiment harnesses that
 regenerate every table and figure of the paper's evaluation.
 
+The supported import surface is :mod:`repro.api`, re-exported here.
+
 Quickstart::
 
-    from repro import SystemConfig, ProtocolKind, simulate, build_streams
+    from repro.api import run
 
-    streams = build_streams("linear-regression", cores=16, per_core=2000)
-    mesi = simulate(streams, SystemConfig(protocol=ProtocolKind.MESI))
-    mw = simulate(
-        build_streams("linear-regression", cores=16, per_core=2000),
-        SystemConfig(protocol=ProtocolKind.PROTOZOA_MW),
-    )
+    mesi = run("linear-regression", protocol="mesi")
+    mw = run("linear-regression", protocol="mw")
     print(mesi.mpki(), mw.mpki())  # Protozoa-MW eliminates the false sharing
 """
 
-from repro.common.params import (
+from repro.api import (
+    PROTOCOL_NAMES,
     CacheGeometry,
+    ConfigError,
+    ExperimentEngine,
+    InvariantViolation,
     L1Organization,
     L2Config,
+    MemAccess,
     NetworkConfig,
+    ObsConfig,
+    Observability,
     PredictorKind,
-    ProtocolKind,
-    SystemConfig,
-)
-from repro.common.wordrange import WordRange
-from repro.common.errors import (
-    ConfigError,
-    InvariantViolation,
     ProtocolError,
+    ProtocolKind,
     ReproError,
+    ResultCache,
+    RunResult,
+    RunSpec,
     SimulationError,
+    SystemConfig,
+    TraceProfile,
+    WORKLOADS,
+    build_machine,
+    build_streams,
+    get_workload,
+    load_trace,
+    parse_protocol,
+    profile_streams,
+    run,
+    save_trace,
+    simulate,
+    sweep,
 )
-from repro.system.machine import build_protocol, simulate
-from repro.system.results import RunResult
-from repro.system.simulator import Simulator
-from repro.trace.events import MemAccess
-from repro.trace.workloads import WORKLOADS, build_streams, get_workload
 
-__version__ = "1.0.0"
+# Legacy top-level names kept for compatibility; prefer repro.api.
+from repro.common.wordrange import WordRange
+from repro.system.machine import build_protocol
+from repro.system._simulator import Simulator
+
+__version__ = "1.1.0"
 
 __all__ = [
     "CacheGeometry",
     "ConfigError",
-    "L1Organization",
+    "ExperimentEngine",
     "InvariantViolation",
+    "L1Organization",
     "L2Config",
     "MemAccess",
     "NetworkConfig",
+    "ObsConfig",
+    "Observability",
+    "PROTOCOL_NAMES",
     "PredictorKind",
     "ProtocolError",
     "ProtocolKind",
     "ReproError",
+    "ResultCache",
     "RunResult",
+    "RunSpec",
     "SimulationError",
     "Simulator",
     "SystemConfig",
+    "TraceProfile",
     "WORKLOADS",
     "WordRange",
+    "build_machine",
     "build_protocol",
     "build_streams",
     "get_workload",
+    "load_trace",
+    "parse_protocol",
+    "profile_streams",
+    "run",
+    "save_trace",
     "simulate",
+    "sweep",
     "__version__",
 ]

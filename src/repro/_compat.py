@@ -1,0 +1,24 @@
+"""Deprecation shims for the pre-``repro.api`` deep-import surface.
+
+The blessed public surface lives in :mod:`repro.api`; the historical deep
+module paths (``repro.experiments.engine``, ``repro.system.simulator``,
+``repro.trace.cache``) keep working for one release as thin shim modules
+that emit a :class:`DeprecationWarning` on import and re-export the real
+implementation, so existing callers see identical objects (classes keep
+their identity — a ``RunSpec`` pickled through a worker pool or used as a
+dict key behaves the same through either path).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated_module(old: str, new: str) -> None:
+    """Emit the one-release deprecation warning for a legacy module path."""
+    warnings.warn(
+        f"importing {old!r} is deprecated and will be removed in the next "
+        f"release; use repro.api (implementation moved to {new!r})",
+        DeprecationWarning,
+        stacklevel=3,
+    )

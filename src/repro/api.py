@@ -1,0 +1,202 @@
+"""The stable public API for the Protozoa reproduction.
+
+Everything a script, notebook, or downstream harness should need lives
+here; the deep module layout (``repro.system``, ``repro.experiments``,
+``repro.trace``, ...) is an implementation detail that may move between
+releases.  Import from :mod:`repro.api` (or from :mod:`repro`, which
+re-exports the same surface) and nothing else::
+
+    from repro.api import RunSpec, run, sweep
+
+    mesi = run("linear-regression", protocol="mesi")
+    mw = run("linear-regression", protocol="mw")
+    print(mesi.mpki(), mw.mpki())
+
+    grid = sweep(
+        RunSpec(w, parse_protocol(p))
+        for w in ("kmeans", "barnes") for p in ("mesi", "sw", "sw+mr", "mw")
+    )
+
+Layers
+------
+* configuration — :class:`SystemConfig` plus its enums and
+  :func:`parse_protocol` for the CLI-style short names;
+* one run — :func:`run` (by workload name) and :func:`simulate`
+  (bring-your-own streams), both returning a :class:`RunResult`;
+* many runs — :class:`RunSpec` grids through :func:`sweep`, which uses
+  the cache-aware parallel :class:`ExperimentEngine`;
+* traces — :func:`build_streams`, :func:`load_trace`,
+  :func:`save_trace`, :func:`profile_streams`;
+* observability — :class:`ObsConfig` / :class:`Observability`
+  (see docs/observability.md), off by default and zero-cost when off;
+* machinery — :func:`build_machine` for direct protocol-engine access
+  (walkthroughs, tests, model checking).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Union
+
+from repro.common.errors import (
+    ConfigError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.params import (
+    CacheGeometry,
+    L1Organization,
+    L2Config,
+    NetworkConfig,
+    PredictorKind,
+    ProtocolKind,
+    SystemConfig,
+)
+from repro.experiments._engine import ExperimentEngine, ResultCache, RunSpec
+from repro.obs import ObsConfig, Observability
+from repro.system.machine import build_protocol, simulate
+from repro.system.results import RunResult
+from repro.trace.analysis import TraceProfile, profile_streams
+from repro.trace.events import MemAccess
+from repro.trace.io import read_trace, write_trace
+from repro.trace.workloads import WORKLOADS, build_streams, get_workload
+
+#: Accepted spellings for each protocol, as used by the CLI's
+#: ``--protocol`` flag and by :func:`parse_protocol`.
+PROTOCOL_NAMES: Dict[str, ProtocolKind] = {
+    "mesi": ProtocolKind.MESI,
+    "sw": ProtocolKind.PROTOZOA_SW,
+    "sw+mr": ProtocolKind.PROTOZOA_SW_MR,
+    "swmr": ProtocolKind.PROTOZOA_SW_MR,
+    "mw": ProtocolKind.PROTOZOA_MW,
+}
+
+
+def parse_protocol(name: Union[str, ProtocolKind]) -> ProtocolKind:
+    """Resolve a protocol given by CLI short name, enum value, or enum."""
+    if isinstance(name, ProtocolKind):
+        return name
+    key = name.lower()
+    if key in PROTOCOL_NAMES:
+        return PROTOCOL_NAMES[key]
+    try:
+        return ProtocolKind(key)
+    except ValueError:
+        raise ConfigError(
+            f"unknown protocol {name!r} (choose from {sorted(PROTOCOL_NAMES)})"
+        )
+
+
+def build_machine(config: Optional[SystemConfig] = None,
+                  protocol: Union[str, ProtocolKind] = ProtocolKind.MESI,
+                  **overrides):
+    """A ready-to-drive coherence engine (protocol + caches + network).
+
+    Either pass a full :class:`SystemConfig`, or let one be assembled
+    from ``protocol`` plus keyword overrides for any ``SystemConfig``
+    field::
+
+        engine = build_machine(protocol="mw", cores=8)
+        engine.read(core=0, addr=0x1000, size=8, pc=0)
+    """
+    if config is None:
+        config = SystemConfig(protocol=parse_protocol(protocol), **overrides)
+    elif overrides:
+        raise ConfigError("pass either a SystemConfig or field overrides, not both")
+    return build_protocol(config)
+
+
+def run(workload: str,
+        protocol: Union[str, ProtocolKind] = ProtocolKind.MESI,
+        *,
+        cores: int = 16,
+        per_core: int = 2000,
+        seed: int = 0,
+        block_bytes: Optional[int] = None,
+        obs: Union[None, bool, ObsConfig, Observability] = None,
+        max_accesses: Optional[int] = None) -> RunResult:
+    """Simulate one bundled workload under one protocol.
+
+    The one-call entry point: builds the synthetic trace, the machine,
+    and runs it.  ``obs=True`` (or an :class:`ObsConfig`) attaches an
+    observability session whose event trace / metrics / phase timers
+    land on the returned :class:`RunResult`.
+    """
+    spec = RunSpec(workload=workload, protocol=parse_protocol(protocol),
+                   block_bytes=block_bytes, cores=cores,
+                   per_core=per_core, seed=seed)
+    streams = build_streams(workload, cores=cores, per_core=per_core, seed=seed)
+    return simulate(streams, spec.config(), name=workload,
+                    max_accesses=max_accesses, obs=obs)
+
+
+def sweep(specs: Iterable[RunSpec],
+          jobs: Optional[int] = None,
+          engine: Optional[ExperimentEngine] = None) -> Dict[RunSpec, RunResult]:
+    """Serve a grid of :class:`RunSpec` runs, in parallel where possible.
+
+    Runs go through the cache-aware :class:`ExperimentEngine`: previously
+    computed cells are served from the persistent result cache
+    (``REPRO_CACHE_DIR``) and misses fan out across ``jobs`` worker
+    processes.  Pass an existing ``engine`` to reuse its warm pool and
+    metrics session across several sweeps.
+    """
+    if engine is not None:
+        return engine.run_many(specs)
+    with ExperimentEngine(jobs=jobs) as owned:
+        return owned.run_many(specs)
+
+
+def load_trace(path: Union[str, Path]):
+    """Per-core ``MemAccess`` streams from a trace file (see docs)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return read_trace(fh)
+
+
+def save_trace(streams, path: Union[str, Path]) -> int:
+    """Write per-core streams to a replayable trace file; returns #records."""
+    with open(path, "w", encoding="utf-8") as fh:
+        return write_trace(streams, fh)
+
+
+__all__ = [
+    # configuration
+    "CacheGeometry",
+    "L1Organization",
+    "L2Config",
+    "NetworkConfig",
+    "PredictorKind",
+    "PROTOCOL_NAMES",
+    "ProtocolKind",
+    "SystemConfig",
+    "parse_protocol",
+    # errors
+    "ConfigError",
+    "InvariantViolation",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    # running
+    "ExperimentEngine",
+    "ResultCache",
+    "RunResult",
+    "RunSpec",
+    "build_machine",
+    "run",
+    "simulate",
+    "sweep",
+    # traces & workloads
+    "MemAccess",
+    "TraceProfile",
+    "WORKLOADS",
+    "build_streams",
+    "get_workload",
+    "load_trace",
+    "profile_streams",
+    "save_trace",
+    # observability
+    "ObsConfig",
+    "Observability",
+]

@@ -11,10 +11,16 @@ Commands
 ``check``     bounded-exhaustive model checking + differential verification
 ``trace``     dump a workload's synthetic trace to a file (replayable)
 ``replay``    run a saved trace file under a chosen protocol
+``events``    trace per-transaction coherence events (repro.obs) and
+              dump/filter/summarize them
 
-``report`` and ``bench`` run through the parallel experiment engine:
-``REPRO_JOBS`` sizes the worker pool and ``REPRO_CACHE_DIR`` locates the
-persistent result cache (see docs/performance.md).
+Every subcommand shares one option vocabulary (``--jobs``, ``--seed``,
+``--protocol``, ``--trace-dir``) via a common parent parser, so flags
+mean the same thing everywhere.  ``report`` and ``bench`` run through the
+parallel experiment engine: ``REPRO_JOBS`` sizes the worker pool and
+``REPRO_CACHE_DIR`` locates the persistent result cache (see
+docs/performance.md); ``--trace-dir`` / ``REPRO_TRACE_CACHE_DIR`` locate
+the packed trace cache.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.common.errors import ConfigError
 from repro.common.params import (
     L1Organization,
     PredictorKind,
@@ -33,22 +40,14 @@ from repro.common.params import (
 from repro.system.machine import simulate
 from repro.trace.workloads import WORKLOADS, build_streams
 
-_PROTOCOL_NAMES = {
-    "mesi": ProtocolKind.MESI,
-    "sw": ProtocolKind.PROTOZOA_SW,
-    "sw+mr": ProtocolKind.PROTOZOA_SW_MR,
-    "swmr": ProtocolKind.PROTOZOA_SW_MR,
-    "mw": ProtocolKind.PROTOZOA_MW,
-}
-
 
 def _protocol(name: str) -> ProtocolKind:
+    from repro.api import parse_protocol
+
     try:
-        return _PROTOCOL_NAMES[name.lower()]
-    except KeyError:
-        raise argparse.ArgumentTypeError(
-            f"unknown protocol {name!r} (choose from {sorted(_PROTOCOL_NAMES)})"
-        )
+        return parse_protocol(name)
+    except ConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _config(args, protocol: ProtocolKind) -> SystemConfig:
@@ -61,16 +60,40 @@ def _config(args, protocol: ProtocolKind) -> SystemConfig:
     )
 
 
-def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=0,
+def _common_parent() -> argparse.ArgumentParser:
+    """The option vocabulary every subcommand shares.
+
+    One parent parser keeps ``--jobs/--seed/--protocol/--trace-dir``
+    spelled, typed, and documented identically across subcommands;
+    per-command defaults come from ``set_defaults`` on the subparser
+    (e.g. ``run`` defaults ``--protocol`` to ``mw``, ``verify`` to all).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=0,
                         help="worker processes for engine-backed work "
                              "(overrides REPRO_JOBS; default: REPRO_JOBS "
                              "or all cores)")
+    parent.add_argument("--seed", type=int, default=0,
+                        help="trace-generation seed (default 0)")
+    parent.add_argument("--protocol", default="",
+                        help="protocol: mesi, sw, sw+mr, mw "
+                             "(commands choose their own default)")
+    parent.add_argument("--trace-dir", default="",
+                        help="packed trace cache directory "
+                             "(overrides REPRO_TRACE_CACHE_DIR)")
+    return parent
 
 
-def _apply_jobs(args) -> Optional[int]:
-    """Resolve ``--jobs``, exporting it so every engine this process (or
-    its pool workers) creates agrees on the worker count."""
+def _apply_common(args) -> Optional[int]:
+    """Resolve the shared flags into process state.
+
+    ``--jobs`` and ``--trace-dir`` are exported through the environment so
+    every engine this process creates — and every pool worker it forks —
+    agrees on the worker count and trace cache location.  Returns the
+    explicit job count, if one was given.
+    """
+    if getattr(args, "trace_dir", ""):
+        os.environ["REPRO_TRACE_CACHE_DIR"] = args.trace_dir
     jobs = getattr(args, "jobs", 0)
     if jobs and jobs > 0:
         os.environ["REPRO_JOBS"] = str(jobs)
@@ -82,7 +105,6 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--scale", type=int, default=2000,
                         help="accesses per core (default 2000)")
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--predictor", default="pc-history",
                         choices=[p.value for p in PredictorKind])
     parser.add_argument("--substrate", default="amoeba",
@@ -122,9 +144,9 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.trace.cache import packed_streams
+    from repro.trace._cache import packed_streams
 
-    _apply_jobs(args)
+    _apply_common(args)
     protocol = _protocol(args.protocol)
     # The packed trace cache makes repeat runs of the same recipe replay a
     # prebuilt columnar trace instead of re-driving the generators.
@@ -163,7 +185,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments._engine import ExperimentEngine
     from repro.experiments.report import write_report
     from repro.experiments.runner import (
         ExperimentSettings,
@@ -171,7 +193,7 @@ def cmd_report(args) -> int:
         default_settings,
     )
 
-    jobs = _apply_jobs(args)
+    jobs = _apply_common(args)
     settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
                                   seed=args.seed,
                                   workloads=default_settings().workloads)
@@ -192,7 +214,7 @@ def cmd_report(args) -> int:
 def cmd_bench(args) -> int:
     from repro.experiments.bench import render, run_bench
 
-    jobs = _apply_jobs(args)
+    jobs = _apply_common(args)
     report = run_bench(quick=args.quick, jobs=jobs,
                        out_path=args.out,
                        record_baseline=args.record_baseline)
@@ -213,6 +235,15 @@ def cmd_bench(args) -> int:
                   f"{sweep['parallel_speedup']}x with "
                   f"{sweep['parallel_jobs']} jobs (required >= "
                   f"{args.min_parallel_speedup}x)")
+            return 1
+        obs = report.get("obs_overhead", {})
+        if obs.get("disabled_is_noop") is False:
+            print("FAIL: a run without REPRO_OBS still produced obs "
+                  "artifacts (hooks are not zero-cost-off)")
+            return 1
+        if obs.get("counters_identical") is False:
+            print("FAIL: enabling observability changed simulation "
+                  "counters (tracing must be side-effect free)")
             return 1
     return 0
 
@@ -334,6 +365,47 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_events(args) -> int:
+    """Observe one run and dump/filter/summarize its transaction events."""
+    import json
+
+    from repro.obs import ObsConfig
+    from repro.obs.events import summarize_jsonl
+    from repro.trace._cache import packed_streams
+
+    if args.input:
+        with open(args.input, encoding="utf-8") as fh:
+            summary = summarize_jsonl(fh)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+
+    _apply_common(args)
+    protocol = _protocol(args.protocol)
+    obs = ObsConfig(enabled=True, ring_size=args.ring,
+                    sample_every=args.sample)
+    streams = packed_streams(args.workload, cores=args.cores,
+                             per_core=args.scale, seed=args.seed)
+    result = simulate(streams, _config(args, protocol), name=args.workload,
+                      obs=obs)
+    events = result.obs.events
+    if args.summary:
+        summary = events.summary()
+        summary["phase_seconds"] = result.phase_seconds or {}
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    records = events.filtered(
+        core=args.core, op=args.op.upper() if args.op else None,
+        misses_only=args.misses_only,
+        limit=args.limit if args.limit > 0 else None)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            count = events.dump_jsonl(fh, records)
+        print(f"{count} events written to {args.out}")
+    else:
+        events.dump_jsonl(sys.stdout, records)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -342,40 +414,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list bundled workloads").set_defaults(fn=cmd_list)
+    p = sub.add_parser("list", help="list bundled workloads",
+                       parents=[_common_parent()])
+    p.set_defaults(fn=cmd_list)
 
-    p = sub.add_parser("run", help="simulate one workload/protocol")
+    p = sub.add_parser("run", help="simulate one workload/protocol",
+                       parents=[_common_parent()])
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
-    p.add_argument("--protocol", default="mw")
     p.add_argument("--profile", action="store_true",
                    help="run under cProfile and print the top-20 functions "
                         "by cumulative time")
-    _add_jobs_arg(p)
     _add_machine_args(p)
-    p.set_defaults(fn=cmd_run)
+    p.set_defaults(fn=cmd_run, protocol="mw")
 
-    p = sub.add_parser("compare", help="one workload under all protocols")
+    p = sub.add_parser("compare", help="one workload under all protocols",
+                       parents=[_common_parent()])
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     _add_machine_args(p)
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("report", help="regenerate every table/figure")
+    p = sub.add_parser("report", help="regenerate every table/figure",
+                       parents=[_common_parent()])
     p.add_argument("--out", default="")
-    _add_jobs_arg(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("bench",
                        help="time cold/warm sweeps and the transaction hot "
-                            "path; write BENCH_protozoa.json")
+                            "path; write BENCH_protozoa.json",
+                       parents=[_common_parent()])
     p.add_argument("--quick", action="store_true",
                    help="small matrix for CI smoke runs")
-    _add_jobs_arg(p)
     p.add_argument("--out", default="BENCH_protozoa.json")
     p.add_argument("--assert-warm", action="store_true",
                    help="exit nonzero unless the warm sweep was 100%% cache "
-                        "hits and (with >1 job) the parallel cold sweep met "
-                        "--min-parallel-speedup")
+                        "hits, (with >1 job) the parallel cold sweep met "
+                        "--min-parallel-speedup, and disabled observability "
+                        "was a no-op")
     p.add_argument("--min-parallel-speedup", type=float, default=1.0,
                    help="parallel-vs-serial cold sweep speedup --assert-warm "
                         "requires when jobs > 1 (default 1.0)")
@@ -384,8 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "machine's microbenchmark")
     p.set_defaults(fn=cmd_bench)
 
-    p = sub.add_parser("verify", help="run the random protocol tester")
-    p.add_argument("--protocol", default="")
+    p = sub.add_parser("verify", help="run the random protocol tester",
+                       parents=[_common_parent()])
     p.add_argument("--accesses", type=int, default=5000)
     p.add_argument("--regions", type=int, default=8)
     p.add_argument("--same-set", action="store_true",
@@ -401,9 +476,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser("check",
-                       help="bounded model checking + differential verification")
-    p.add_argument("--protocol", default="",
-                   help="one protocol (default: all four)")
+                       help="bounded model checking + differential verification",
+                       parents=[_common_parent()])
     p.add_argument("--cores", type=int, default=2)
     p.add_argument("--regions", type=int, default=1)
     p.add_argument("--depth", type=int, default=6,
@@ -420,22 +494,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay a saved counterexample trace instead of checking")
     p.set_defaults(fn=cmd_check)
 
-    p = sub.add_parser("inspect", help="profile workloads' sharing/locality")
+    p = sub.add_parser("inspect", help="profile workloads' sharing/locality",
+                       parents=[_common_parent()])
     p.add_argument("--workload", default="", choices=[""] + sorted(WORKLOADS))
     _add_machine_args(p)
     p.set_defaults(fn=cmd_inspect)
 
-    p = sub.add_parser("trace", help="dump a workload trace to a file")
+    p = sub.add_parser("trace", help="dump a workload trace to a file",
+                       parents=[_common_parent()])
     p.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
     p.add_argument("--out", required=True)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_trace)
 
-    p = sub.add_parser("replay", help="replay a saved trace file")
+    p = sub.add_parser("replay", help="replay a saved trace file",
+                       parents=[_common_parent()])
     p.add_argument("--trace", required=True)
-    p.add_argument("--protocol", default="mw")
     _add_machine_args(p)
-    p.set_defaults(fn=cmd_replay)
+    p.set_defaults(fn=cmd_replay, protocol="mw")
+
+    p = sub.add_parser("events",
+                       help="trace per-transaction coherence events and "
+                            "dump/filter/summarize them",
+                       parents=[_common_parent()])
+    p.add_argument("--workload", default="kmeans", choices=sorted(WORKLOADS))
+    p.add_argument("--ring", type=int, default=4096,
+                   help="event ring-buffer capacity (default 4096; oldest "
+                        "events are overwritten beyond it)")
+    p.add_argument("--sample", type=int, default=1,
+                   help="record every Nth transaction (default 1: all)")
+    p.add_argument("--core", type=int, default=None,
+                   help="only events issued by this core")
+    p.add_argument("--op", default=None, choices=["r", "w", "R", "W"],
+                   help="only reads (r) or writes (w)")
+    p.add_argument("--misses-only", action="store_true",
+                   help="drop L1 hits from the dump")
+    p.add_argument("--limit", type=int, default=0,
+                   help="emit at most N events (default: all retained)")
+    p.add_argument("--out", default="",
+                   help="write JSONL here instead of stdout")
+    p.add_argument("--summary", action="store_true",
+                   help="print an aggregate summary instead of events")
+    p.add_argument("--input", default="",
+                   help="summarize an existing JSONL dump instead of running")
+    _add_machine_args(p)
+    p.set_defaults(fn=cmd_events, protocol="mw")
 
     return parser
 

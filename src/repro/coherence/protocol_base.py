@@ -83,6 +83,46 @@ class CoherenceProtocol:
         # (MsgType, src_node, dst_node, payload_words); used by the
         # walkthrough example and the protocol scenario tests.
         self.trace_hook = None
+        # Observability (repro.obs): None when disabled, which keeps every
+        # hook in the transaction loop at one attribute load + None test.
+        # ``_obs_events`` aliases the session's event trace so the hot
+        # path never chases two attributes.
+        self._obs = None
+        self._obs_events = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire an :class:`repro.obs.Observability` session into this engine.
+
+        The event trace taps the existing per-message ``trace_hook``
+        (chaining with any hook already installed) and the per-transaction
+        hooks in :meth:`_access`; the metrics registry taps the network
+        accountant.  Detach by passing ``None``.
+        """
+        self._obs = obs
+        self._obs_events = obs.events if obs is not None else None
+        if obs is None:
+            return
+        events = obs.events
+        if events is not None:
+            prev = self.trace_hook
+            if prev is None:
+                self.trace_hook = events.message
+            else:
+                def chained(mtype, src, dst, payload_words,
+                            _prev=prev, _events=events):
+                    _prev(mtype, src, dst, payload_words)
+                    _events.message(mtype, src, dst, payload_words)
+                self.trace_hook = chained
+        if obs.metrics is not None:
+            hops = obs.metrics.histogram("repro_message_hops")
+            flits = obs.metrics.histogram("repro_message_flits")
+
+            def observe_transfer(hop_count, flit_count,
+                                 _hops=hops, _flits=flits):
+                _hops.observe(hop_count)
+                _flits.observe(flit_count)
+
+            self.net.observer = observe_transfer
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -132,6 +172,9 @@ class CoherenceProtocol:
     def _access(self, core: int, is_write: bool, addr: int, size: int, pc: int) -> int:
         if not 0 <= core < self.config.cores:
             raise SimulationError(f"core {core} out of range")
+        obs_events = self._obs_events
+        if obs_events is not None:
+            obs_events.begin(core, is_write, addr, size, pc)
         region, rng = self.amap.access_range(addr, size)
         stats = self.stats
         if is_write:
@@ -160,6 +203,8 @@ class CoherenceProtocol:
             else:
                 stats.read_hits += 1
                 self._do_read(core, region, rng)
+            if obs_events is not None:
+                obs_events.end(self._hit_latency, hit=True)
             return self._hit_latency
 
         latency = self._miss(core, is_write, region, rng, pc, covered_r & mask)
@@ -169,6 +214,8 @@ class CoherenceProtocol:
             self._do_read(core, region, rng)
         if self._check_invariants:
             self.check_region_invariants(region)
+        if obs_events is not None:
+            obs_events.end(latency, hit=False)
         return latency
 
     def _miss(self, core: int, is_write: bool, region: int, rng: WordRange,
@@ -246,6 +293,8 @@ class CoherenceProtocol:
         self._txn_suppliers = []
         legs = self._probe(core, region, req, is_write, entry, home)
         granted = self._grant(core, region, req, is_write, entry)
+        if self._obs_events is not None:
+            self._obs_events.grant(granted)
         payload_words = popcount(payload_mask)
         supplier = self._three_hop_supplier(payload_mask) if payload_words else None
         if supplier is not None:

@@ -1,0 +1,362 @@
+"""The parallel experiment engine with a persistent result cache.
+
+Every figure harness ultimately replays cells of the same deterministic
+(workload x protocol x block-size) run matrix.  Runs are mutually
+independent, so this module fans them out across a process pool and
+memoizes each finished :class:`~repro.system.results.RunResult` on disk,
+content-addressed by the full run recipe:
+
+* **RunSpec** — the recipe for one run: (workload, protocol, block_bytes,
+  cores, per_core, seed).  Its digest additionally covers
+  ``SCHEMA_VERSION``; bumping the version invalidates every cached entry
+  (the only invalidation rule — bump it whenever a change alters simulated
+  outcomes or the serialized layout).
+* **ResultCache** — ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``),
+  one JSON file per digest under a two-hex-char fan-out directory.
+  Entries are written atomically (temp file + rename) so concurrent
+  engines never observe torn results.  ``REPRO_CACHE=0`` disables it.
+* **ExperimentEngine** — cache-aware execution.  ``run()`` serves one
+  spec; ``run_many()`` fans cache misses out over a persistent
+  ``ProcessPoolExecutor`` sized by ``$REPRO_JOBS`` (default: all cores),
+  falling back to in-process serial execution when ``REPRO_JOBS=1``.
+
+The fan-out path is built so pool overhead stays off the hot path:
+
+* the **pool is created once per engine** and reused across every
+  ``run_many()`` call; its initializer pre-imports the simulation stack
+  and pins the trace-cache directory, so workers pay import cost once,
+  not per task;
+* specs are submitted in **chunks** so task IPC amortizes over several
+  simulations;
+* workers replay **packed traces** from the content-addressed trace
+  cache (:mod:`repro.trace.cache`) instead of regenerating workload
+  streams, and return one compact JSON blob per result, which the
+  parent writes to the result cache verbatim (one parse to build the
+  in-memory ``RunResult``, no dict round-trip).
+
+Simulations are deterministic, so parallel, serial, cached, and
+packed-vs-object results are bit-identical
+(``tests/experiments/test_engine.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+import tempfile
+import weakref
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.common.params import ProtocolKind, SystemConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.system.machine import simulate
+from repro.system.results import RunResult
+from repro.trace._cache import packed_streams, trace_cache_dir
+from repro.trace.workloads import build_streams
+
+#: Bump whenever simulation behaviour or the serialized result layout
+#: changes: every previously cached entry becomes unreachable.
+SCHEMA_VERSION = 1
+
+#: Chunks submitted per worker per ``run_many`` batch: small enough to
+#: load-balance uneven cells, large enough to amortize task IPC.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """The complete, deterministic recipe for one simulation run."""
+
+    workload: str
+    protocol: ProtocolKind
+    block_bytes: Optional[int] = None
+    cores: int = 16
+    per_core: int = 2000
+    seed: int = 0
+
+    def config(self) -> SystemConfig:
+        config = SystemConfig(protocol=self.protocol, cores=self.cores)
+        if self.block_bytes is not None:
+            config = config.with_block_bytes(self.block_bytes)
+        return config
+
+    def payload(self) -> Dict:
+        """JSON-safe form (sent to worker processes, hashed for the cache)."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol.value,
+            "block_bytes": self.block_bytes,
+            "cores": self.cores,
+            "per_core": self.per_core,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict) -> "RunSpec":
+        return cls(
+            workload=data["workload"],
+            protocol=ProtocolKind(data["protocol"]),
+            block_bytes=data["block_bytes"],
+            cores=data["cores"],
+            per_core=data["per_core"],
+            seed=data["seed"],
+        )
+
+    def digest(self) -> str:
+        """Content address: the recipe plus the engine schema version."""
+        recipe = {"schema": SCHEMA_VERSION, **self.payload()}
+        blob = json.dumps(recipe, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def execute_spec(spec: RunSpec, packed: bool = True) -> RunResult:
+    """Run one spec in-process (no result-cache involvement).
+
+    With ``packed`` (the default) the trace comes from the packed trace
+    cache — built at most once per recipe, replayed with no per-event
+    objects.  ``packed=False`` regenerates ``MemAccess`` streams; the
+    equivalence tests pin both paths to bit-identical results.
+    """
+    if packed:
+        trace = packed_streams(spec.workload, cores=spec.cores,
+                               per_core=spec.per_core, seed=spec.seed)
+        return simulate(trace, spec.config(), name=spec.workload)
+    streams = build_streams(spec.workload, cores=spec.cores,
+                            per_core=spec.per_core, seed=spec.seed)
+    return simulate(streams, spec.config(), name=spec.workload)
+
+
+def _serialize_result(result: RunResult) -> str:
+    """The compact wire/cache form shipped back from pool workers."""
+    return json.dumps(result.to_dict(), separators=(",", ":"))
+
+
+def _pool_init(trace_dir: str) -> None:
+    """Worker initializer: pin the trace cache, pre-import the machine.
+
+    Runs once per worker process (not per task), so spawn-started pools
+    agree with the parent on trace-cache location and every heavy import
+    is paid before the first task arrives.
+    """
+    if trace_dir:
+        os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
+    import repro.system.machine  # noqa: F401
+
+
+def _worker_run(payload: Dict) -> Dict:
+    """Single-spec pool entry point (kept for compatibility)."""
+    return execute_spec(RunSpec.from_payload(payload)).to_dict()
+
+
+def _worker_run_chunk(payloads: List[Dict]) -> List[str]:
+    """Chunked pool entry point: recipes in, compact serialized results out."""
+    return [_serialize_result(execute_spec(RunSpec.from_payload(payload)))
+            for payload in payloads]
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    # The affinity mask sees cgroup/taskset limits that cpu_count() does
+    # not; oversubscribing a restricted container just thrashes the
+    # scheduler.
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+class ResultCache:
+    """Content-addressed on-disk store of serialized run results."""
+
+    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: RunSpec) -> Path:
+        digest = spec.digest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        if not self.enabled:
+            return None
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+            result = RunResult.from_dict(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            # Absent or torn/stale entry: treat as a miss (a fresh run
+            # overwrites it).
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _write_atomic(self, path: Path, blob: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)  # atomic on POSIX
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def put(self, spec: RunSpec, result: RunResult) -> None:
+        if not self.enabled:
+            return
+        self._write_atomic(self.path_for(spec), _serialize_result(result))
+
+    def put_blob(self, spec: RunSpec, blob: str) -> None:
+        """Store an already-serialized result verbatim (the pool path)."""
+        if not self.enabled:
+            return
+        self._write_atomic(self.path_for(spec), blob)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ExperimentEngine:
+    """Cache-aware, optionally parallel execution of run specs.
+
+    The worker pool is created lazily on the first fan-out and persists
+    for the engine's lifetime; ``close()`` (or using the engine as a
+    context manager) shuts it down, and a dropped engine cleans up via a
+    finalizer.  ``warm_pool()`` spins the workers up eagerly — call it
+    before a timed region so pool start-up is not attributed to the
+    sweep being measured.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache = cache if cache is not None else ResultCache()
+        self.executed = 0  # specs actually simulated (cache misses)
+        # Session-level aggregation of per-run metric dumps (repro.obs).
+        # Workers inherit REPRO_OBS through the pool environment, attach a
+        # registry dump to each serialized result, and every result served
+        # by this engine — simulated here, shipped from a worker, or read
+        # back from the cache — is folded in on arrival.
+        self.metrics = MetricsRegistry()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def warm_pool(self) -> Optional[ProcessPoolExecutor]:
+        """The persistent pool (created on first use; ``None`` if serial)."""
+        if self.jobs <= 1:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_init,
+                initargs=(str(trace_cache_dir()),),
+            )
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down; the engine stays usable (serially
+        it never had one, and a later fan-out recreates it)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # idempotent; detaches after first call
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- single run ----------------------------------------------------------
+
+    def _absorb_metrics(self, result: RunResult) -> RunResult:
+        if result.metrics:
+            self.metrics.merge_dict(result.metrics)
+        return result
+
+    def run(self, spec: RunSpec) -> RunResult:
+        cached = self.cache.get(spec)
+        if cached is not None:
+            return self._absorb_metrics(cached)
+        result = execute_spec(spec)
+        self.executed += 1
+        self.cache.put(spec, result)
+        return self._absorb_metrics(result)
+
+    # -- batched runs ----------------------------------------------------------
+
+    def run_many(self, specs: Iterable[RunSpec]) -> Dict[RunSpec, RunResult]:
+        """Serve every spec, fanning cache misses out across the pool.
+
+        Results are keyed by spec; duplicate specs collapse to one run.
+        Misses are submitted to the persistent pool in chunks
+        (``_CHUNKS_PER_WORKER`` per worker) so several simulations share
+        one task's IPC; each worker ships back compact JSON blobs that
+        land in the result cache byte-for-byte.
+        """
+        out: Dict[RunSpec, RunResult] = {}
+        todo: List[RunSpec] = []
+        pending = set()
+        for spec in specs:
+            if spec in out or spec in pending:
+                continue
+            cached = self.cache.get(spec)
+            if cached is not None:
+                out[spec] = self._absorb_metrics(cached)
+            else:
+                todo.append(spec)
+                pending.add(spec)
+        if not todo:
+            return out
+        if self.jobs <= 1 or len(todo) == 1:
+            for spec in todo:
+                result = execute_spec(spec)
+                self.executed += 1
+                self.cache.put(spec, result)
+                out[spec] = self._absorb_metrics(result)
+            return out
+        pool = self.warm_pool()
+        size = max(1, -(-len(todo) // (self.jobs * _CHUNKS_PER_WORKER)))
+        chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
+        futures = {
+            pool.submit(_worker_run_chunk, [s.payload() for s in chunk]): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            for spec, blob in zip(chunk, future.result()):
+                self.executed += 1
+                self.cache.put_blob(spec, blob)
+                out[spec] = self._absorb_metrics(RunResult.from_dict(json.loads(blob)))
+        return out

@@ -1,6 +1,6 @@
 """``repro bench``: the repository's performance trajectory, as data.
 
-Times four things and writes them to ``BENCH_protozoa.json``:
+Times five things and writes them to ``BENCH_protozoa.json``:
 
 * **trace prewarm** — packing every workload trace the sweeps replay
   into the (scratch) trace cache, once per recipe;
@@ -11,7 +11,18 @@ Times four things and writes them to ``BENCH_protozoa.json``:
   now-populated cache (a warm sweep must be 100% cache hits);
 * **single-run microbenchmark** — accesses/second through one simulation
   (the coherence transaction hot path, packed replay), compared against
-  the pre-PR baseline recorded in ``benchmarks/baseline_protozoa.json``.
+  the pre-PR baseline recorded in ``benchmarks/baseline_protozoa.json``;
+* **observability overhead** — the same microbenchmark with ``repro.obs``
+  forced off and then fully on.  The timed sweeps always run with
+  ``REPRO_OBS`` popped from the environment, so the numbers above measure
+  the simulator, not the tracer; the off/on comparison quantifies the
+  tracing tax and checks that disabled observability leaves no artifacts
+  and that enabling it changes no counter (the zero-cost-when-off and
+  parity guarantees of docs/observability.md).
+
+Schema 3 adds a ``phases`` section (trace prewarm, worker-pool warm-up,
+and the simulate/flush split of one observed run, from
+:class:`repro.obs.timers.PhaseTimers`) and the ``obs_overhead`` section.
 
 Sweeps run against *scratch* result and trace caches, so the serial and
 parallel phases both replay prebuilt packed traces and differ only in
@@ -38,7 +49,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.common.params import ProtocolKind
-from repro.experiments.engine import (
+from repro.experiments._engine import (
     ExperimentEngine,
     ResultCache,
     RunSpec,
@@ -46,9 +57,9 @@ from repro.experiments.engine import (
     execute_spec,
 )
 from repro.experiments.runner import ALL_PROTOCOLS
-from repro.trace.cache import TraceCache
+from repro.trace._cache import TraceCache
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 
 #: Microbenchmark recipe — keep in lockstep with benchmarks/baseline_protozoa.json
 #: (comparing against a baseline recorded under a different recipe is noise).
@@ -101,7 +112,9 @@ def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
     """
     engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_root, enabled=True))
     try:
+        pool_start = time.perf_counter()
         engine.warm_pool()
+        pool_warm = time.perf_counter() - pool_start
         start = time.perf_counter()
         results = engine.run_many(specs)
         elapsed = time.perf_counter() - start
@@ -109,6 +122,7 @@ def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
         engine.close()
     return {
         "seconds": elapsed,
+        "pool_warm_s": pool_warm,
         "jobs": engine.jobs,
         "cells": len(results),
         "cache_hits": engine.cache.hits,
@@ -137,6 +151,50 @@ def time_single_run(spec: RunSpec, repeats: int) -> Dict:
     }
 
 
+def measure_obs_overhead(spec: RunSpec, repeats: int) -> Dict:
+    """The tracing tax, and the two guarantees behind it.
+
+    Runs the microbenchmark with ``REPRO_OBS`` absent (the default) and
+    then set, timing both, and checks:
+
+    * **disabled is a no-op** — the unobserved run carries no obs
+      session, no metrics, and serializes without a ``metrics`` key;
+    * **parity** — full tracing changes no simulation counter.
+    """
+    old = os.environ.pop("REPRO_OBS", None)
+    try:
+        off_rate = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            off_result = execute_spec(spec)
+            off_rate = max(off_rate,
+                           off_result.stats.accesses / (time.perf_counter() - start))
+        noop = (off_result.obs is None and off_result.metrics is None
+                and "metrics" not in off_result.to_dict())
+        os.environ["REPRO_OBS"] = "1"
+        on_rate = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            on_result = execute_spec(spec)
+            on_rate = max(on_rate,
+                          on_result.stats.accesses / (time.perf_counter() - start))
+        parity = on_result.stats.to_dict() == off_result.stats.to_dict()
+    finally:
+        if old is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = old
+    return {
+        "disabled_accesses_per_sec": round(off_rate, 1),
+        "enabled_accesses_per_sec": round(on_rate, 1),
+        "overhead_pct": (round(100.0 * (off_rate / on_rate - 1.0), 1)
+                         if on_rate else None),
+        "disabled_is_noop": noop,
+        "counters_identical": parity,
+        "phase_seconds": dict(on_result.phase_seconds or {}),
+    }
+
+
 def run_bench(quick: bool = False, jobs: Optional[int] = None,
               out_path: str = "BENCH_protozoa.json",
               record_baseline: bool = False) -> Dict:
@@ -152,17 +210,25 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
     scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
     old_trace_dir = os.environ.get("REPRO_TRACE_CACHE_DIR")
     os.environ["REPRO_TRACE_CACHE_DIR"] = str(scratch / "traces")
+    # Observability must not leak into the timed sweeps: an ambient
+    # REPRO_OBS=1 would tax every run (and every pool worker) and make the
+    # baseline comparison meaningless.  measure_obs_overhead() re-enables
+    # it deliberately, inside its own timed region.
+    old_obs = os.environ.pop("REPRO_OBS", None)
     try:
         prewarm = prewarm_traces(specs + [MICROBENCH])
         serial_cold = time_sweep(specs, jobs=1, cache_root=scratch / "serial")
         parallel_cold = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
         warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
         single = time_single_run(MICROBENCH, repeats=repeats)
+        obs_overhead = measure_obs_overhead(MICROBENCH, repeats=repeats)
     finally:
         if old_trace_dir is None:
             os.environ.pop("REPRO_TRACE_CACHE_DIR", None)
         else:
             os.environ["REPRO_TRACE_CACHE_DIR"] = old_trace_dir
+        if old_obs is not None:
+            os.environ["REPRO_OBS"] = old_obs
         shutil.rmtree(scratch, ignore_errors=True)
 
     if record_baseline:
@@ -221,7 +287,17 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
             "warm_all_hits": warm["cache_hits"] == len(specs)
                              and warm["simulated"] == 0,
         },
+        "phases": {
+            "trace_prewarm_s": round(prewarm["seconds"], 3),
+            "warm_pool_s": round(parallel_cold["pool_warm_s"], 3),
+            "simulate_s": round(
+                obs_overhead["phase_seconds"].get("simulate", 0.0), 3),
+            "flush_s": round(
+                obs_overhead["phase_seconds"].get("flush", 0.0), 3),
+        },
         "single_run": single,
+        "obs_overhead": {k: v for k, v in obs_overhead.items()
+                         if k != "phase_seconds"},
     }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -258,4 +334,19 @@ def render(report: Dict) -> str:
     else:
         lines.append("vs recorded baseline:   (no baseline recorded; run "
                      "`repro bench --record-baseline`)")
+    phases = report.get("phases")
+    if phases:
+        lines.append(
+            f"phases:                 prewarm {phases['trace_prewarm_s']}s, "
+            f"pool {phases['warm_pool_s']}s, "
+            f"simulate {phases['simulate_s']}s, flush {phases['flush_s']}s")
+    obs = report.get("obs_overhead")
+    if obs:
+        overhead = obs["overhead_pct"]
+        lines.append(
+            f"observability:          "
+            f"{obs['enabled_accesses_per_sec']:,.0f} accesses/s traced "
+            f"({overhead:+.1f}% vs off), "
+            f"noop-off={'yes' if obs['disabled_is_noop'] else 'NO'}, "
+            f"parity={'yes' if obs['counters_identical'] else 'NO'}")
     return "\n".join(lines)

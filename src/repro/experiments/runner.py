@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.params import ProtocolKind
-from repro.experiments.engine import ExperimentEngine, RunSpec
+from repro.experiments._engine import ExperimentEngine, RunSpec
 from repro.system.results import RunResult
 from repro.trace.workloads import WORKLOADS
 

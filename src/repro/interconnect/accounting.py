@@ -21,6 +21,9 @@ class NetworkAccountant:
         self.total_flits = 0
         self.total_flit_hops = 0
         self.total_messages = 0
+        # Optional per-message observer called as (hops, flits); installed
+        # by repro.obs when metrics are enabled, None (free) otherwise.
+        self.observer = None
 
     def flits(self, size_bytes: int) -> int:
         """Number of flits needed for a message of ``size_bytes``."""
@@ -41,6 +44,8 @@ class NetworkAccountant:
         self.total_messages += 1
         self.total_flits += flits
         self.total_flit_hops += flits * hops
+        if self.observer is not None:
+            self.observer(hops, flits)
         per_hop = self.config.link_latency + self.config.router_latency
         return hops * per_hop + max(flits - 1, 0) + self.config.router_latency
 

@@ -1,0 +1,194 @@
+"""The structured per-transaction event trace.
+
+Every memory access is one coherence transaction; with tracing enabled the
+protocol engine opens a record at transaction start, appends the directory
+actions and the full message sequence as they happen, and seals the record
+with the outcome (hit/miss, granted state, latency).  Records are plain
+dicts so JSONL export is a straight ``json.dumps`` per line:
+
+``{"seq": 17, "core": 3, "op": "W", "addr": 32776, "size": 8, "pc": 4196,
+  "hit": false, "latency": 46, "granted": "M",
+  "actions": [["invalidate", 1]],
+  "msgs": [["GETX", 3, 9, 0], ["INV", 9, 1, 0], ...]}``
+
+Retention is a bounded **ring buffer**: the newest ``capacity`` sealed
+records survive, older ones are overwritten (counted in ``dropped``).
+``sample_every=N`` seals only every Nth transaction — the rest are never
+materialized, so heavy runs can keep tracing on at low cost.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class EventTrace:
+    """Bounded, sampled ring of per-transaction records."""
+
+    __slots__ = ("capacity", "sample_every", "seen", "recorded", "dropped",
+                 "sampled_out", "hits", "misses", "_ring", "_next", "_open")
+
+    def __init__(self, capacity: int = 4096, sample_every: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.seen = 0         # transactions observed (sampled or not)
+        self.recorded = 0     # records sealed (including later-overwritten)
+        self.dropped = 0      # sealed records overwritten by ring wrap
+        self.sampled_out = 0  # transactions skipped by sampling
+        self.hits = 0
+        self.misses = 0
+        self._ring: List[Dict] = []
+        self._next = 0        # overwrite cursor once the ring is full
+        self._open: Optional[Dict] = None
+
+    # -- recording hooks (called by the protocol engine) ---------------------
+
+    def begin(self, core: int, is_write: bool, addr: int, size: int,
+              pc: int) -> None:
+        seq = self.seen
+        self.seen = seq + 1
+        if self.sample_every > 1 and seq % self.sample_every:
+            self.sampled_out += 1
+            self._open = None
+            return
+        self._open = {
+            "seq": seq,
+            "core": core,
+            "op": "W" if is_write else "R",
+            "addr": addr,
+            "size": size,
+            "pc": pc,
+            "actions": [],
+            "msgs": [],
+        }
+
+    def message(self, mtype, src_node: int, dst_node: int,
+                payload_words: int) -> None:
+        """One network message of the open transaction (trace_hook shape)."""
+        rec = self._open
+        if rec is not None:
+            rec["msgs"].append([mtype.label, src_node, dst_node, payload_words])
+
+    def action(self, kind: str, target: int) -> None:
+        """A directory-side action (probe/downgrade/invalidate/revoke)."""
+        rec = self._open
+        if rec is not None:
+            rec["actions"].append([kind, target])
+
+    def grant(self, state) -> None:
+        """The L1 state granted to the requester (miss path only)."""
+        rec = self._open
+        if rec is not None:
+            rec["granted"] = state.name
+
+    def end(self, latency: int, hit: bool) -> None:
+        rec = self._open
+        if rec is None:
+            return
+        self._open = None
+        rec["hit"] = hit
+        rec["latency"] = latency
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(rec)
+        else:
+            ring[self._next] = rec
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+        self.recorded += 1
+
+    # -- reading -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[Dict]:
+        """Retained records, oldest first."""
+        ring = self._ring
+        if len(ring) < self.capacity or self._next == 0:
+            return list(ring)
+        return ring[self._next:] + ring[:self._next]
+
+    def filtered(self, core: Optional[int] = None, op: Optional[str] = None,
+                 misses_only: bool = False,
+                 limit: Optional[int] = None) -> Iterator[Dict]:
+        """Records matching the ``repro events`` filter flags, oldest first."""
+        emitted = 0
+        for rec in self.records():
+            if core is not None and rec["core"] != core:
+                continue
+            if op is not None and rec["op"] != op:
+                continue
+            if misses_only and rec["hit"]:
+                continue
+            yield rec
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def dump_jsonl(self, fh, records: Optional[Iterable[Dict]] = None) -> int:
+        """Write records (default: all retained) as JSON Lines; returns count."""
+        count = 0
+        for rec in (self.records() if records is None else records):
+            fh.write(json.dumps(rec, separators=(",", ":")))
+            fh.write("\n")
+            count += 1
+        return count
+
+    def summary(self) -> Dict:
+        """Aggregate view over the run (global counters + retained records)."""
+        msg_counts: Dict[str, int] = {}
+        action_counts: Dict[str, int] = {}
+        latency_total = 0
+        for rec in self._ring:
+            latency_total += rec["latency"]
+            for msg in rec["msgs"]:
+                msg_counts[msg[0]] = msg_counts.get(msg[0], 0) + 1
+            for act in rec["actions"]:
+                action_counts[act[0]] = action_counts.get(act[0], 0) + 1
+        retained = len(self._ring)
+        return {
+            "transactions": self.seen,
+            "recorded": self.recorded,
+            "retained": retained,
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+            "sample_every": self.sample_every,
+            "hits": self.hits,
+            "misses": self.misses,
+            "mean_latency_retained": (
+                round(latency_total / retained, 2) if retained else 0.0),
+            "messages_retained": dict(sorted(msg_counts.items())),
+            "actions_retained": dict(sorted(action_counts.items())),
+        }
+
+
+def summarize_jsonl(lines: Iterable[str]) -> Dict:
+    """Summary of an exported JSONL stream (``repro events --input``)."""
+    trace = EventTrace(capacity=1 << 30)
+    count = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        trace._ring.append(rec)
+        trace.seen += 1
+        trace.recorded += 1
+        if rec.get("hit"):
+            trace.hits += 1
+        else:
+            trace.misses += 1
+        count += 1
+    summary = trace.summary()
+    summary["retained"] = count
+    return summary

@@ -56,8 +56,11 @@ class TrafficBreakdown:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TrafficBreakdown":
-        out = cls(used_data=data["used_data"], unused_data=data["unused_data"])
-        out.control.update(data["control"])
+        """Tolerant inverse of :meth:`to_dict`: unknown keys are ignored,
+        missing ones default, and future control categories are kept."""
+        out = cls(used_data=data.get("used_data", 0),
+                  unused_data=data.get("unused_data", 0))
+        out.control.update(data.get("control", {}))
         return out
 
     def fractions(self) -> Dict[str, float]:
@@ -197,11 +200,21 @@ class RunStats:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunStats":
+        """Tolerant inverse of :meth:`to_dict`.
+
+        Unknown future keys are ignored and missing ones keep their
+        fresh-instance defaults, so a schema-extended cache entry loads
+        instead of raising (forward compatibility for the persistent
+        result cache).
+        """
         stats = cls(data["cores"])
         for name in cls._SCALAR_FIELDS:
-            setattr(stats, name, data[name])
-        stats.traffic = TrafficBreakdown.from_dict(data["traffic"])
-        stats.block_size_hist = {int(k): v for k, v in data["block_size_hist"].items()}
-        stats.core_cycles = list(data["core_cycles"])
-        stats.miss_latency = LatencyHistogram.from_dict(data["miss_latency"])
+            if name in data:
+                setattr(stats, name, data[name])
+        stats.traffic = TrafficBreakdown.from_dict(data.get("traffic", {}))
+        stats.block_size_hist = {
+            int(k): v for k, v in data.get("block_size_hist", {}).items()}
+        stats.core_cycles = list(data.get("core_cycles", stats.core_cycles))
+        if "miss_latency" in data:
+            stats.miss_latency = LatencyHistogram.from_dict(data["miss_latency"])
         return stats

@@ -76,12 +76,14 @@ class LatencyHistogram:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "LatencyHistogram":
-        hist = cls(max_exponent=data["max_exponent"])
-        hist.buckets = list(data["buckets"])
-        hist.count = data["count"]
-        hist.total = data["total"]
-        hist.min = data["min"]
-        hist.max = data["max"]
+        """Tolerant inverse of :meth:`to_dict` (unknown keys ignored,
+        missing keys default — the result cache's forward-compat rule)."""
+        hist = cls(max_exponent=data.get("max_exponent", 16))
+        hist.buckets = list(data.get("buckets", hist.buckets))
+        hist.count = data.get("count", 0)
+        hist.total = data.get("total", 0)
+        hist.min = data.get("min")
+        hist.max = data.get("max")
         return hist
 
     def nonzero_buckets(self) -> List[tuple]:

@@ -2,6 +2,6 @@
 
 from repro.system.machine import build_protocol, simulate
 from repro.system.results import RunResult
-from repro.system.simulator import Simulator
+from repro.system._simulator import Simulator
 
 __all__ = ["Simulator", "RunResult", "build_protocol", "simulate"]

@@ -39,14 +39,23 @@ def config_to_dict(config: SystemConfig) -> Dict:
 
 
 def config_from_dict(data: Dict) -> SystemConfig:
+    """Inverse of :func:`config_to_dict`, tolerant of future schemas.
+
+    Unknown keys are ignored and absent keys fall back to the
+    ``SystemConfig`` defaults, so entries written by a *newer* schema
+    version still load (the result cache's forward-compatibility
+    contract; schema-changing differences invalidate the digest anyway).
+    """
+    defaults = SystemConfig()
     return SystemConfig(
         protocol=ProtocolKind(data["protocol"]),
-        cores=data["cores"],
-        region_bytes=data["region_bytes"],
-        block_bytes=data["block_bytes"],
-        predictor=PredictorKind(data["predictor"]),
-        l1_organization=L1Organization(data["l1_organization"]),
-        three_hop=data["three_hop"],
+        cores=data.get("cores", defaults.cores),
+        region_bytes=data.get("region_bytes", defaults.region_bytes),
+        block_bytes=data.get("block_bytes", defaults.block_bytes),
+        predictor=PredictorKind(data.get("predictor", defaults.predictor.value)),
+        l1_organization=L1Organization(
+            data.get("l1_organization", defaults.l1_organization.value)),
+        three_hop=data.get("three_hop", defaults.three_hop),
     )
 
 
@@ -61,6 +70,14 @@ class RunResult:
     # Portable captures for protocol-derived figures (set when serialized).
     flit_hops_total: int = 0
     dir_buckets: Optional[Dict[str, int]] = None
+    # Observability (repro.obs), populated only when a run was observed.
+    # ``metrics`` is the wire-form registry dump — deterministic, so it is
+    # serialized and merged across pool workers by the experiment engine.
+    # ``obs`` (the live session: event ring, timers) and ``phase_seconds``
+    # (wall-clock) never enter the persistent cache.
+    metrics: Optional[Dict] = None
+    obs: Optional[object] = None
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @property
     def protocol_name(self) -> str:
@@ -118,22 +135,38 @@ class RunResult:
     # -- serialization (the persistent result cache) -------------------------
 
     def to_dict(self) -> Dict:
-        """JSON-serializable form preserving every figure-facing counter."""
-        return {
+        """JSON-serializable form preserving every figure-facing counter.
+
+        ``metrics`` is emitted only when present so unobserved runs
+        serialize byte-identically with or without :mod:`repro.obs`
+        importable.
+        """
+        out = {
             "name": self.name,
             "config": config_to_dict(self.config),
             "stats": self.stats.to_dict(),
             "flit_hops": self.flit_hops(),
             "dir_owned_buckets": self.dir_owned_buckets(),
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`, tolerant of future schemas.
+
+        Unknown keys (at this level and in every nested dict) are ignored
+        and optional captures default, so the schema-versioned result
+        cache can be read by older code after a forward-compatible schema
+        extension instead of raising.
+        """
         return cls(
-            name=data["name"],
+            name=data.get("name", ""),
             config=config_from_dict(data["config"]),
             stats=RunStats.from_dict(data["stats"]),
             protocol=None,
-            flit_hops_total=data["flit_hops"],
-            dir_buckets=dict(data["dir_owned_buckets"]),
+            flit_hops_total=data.get("flit_hops", 0),
+            dir_buckets=dict(data.get("dir_owned_buckets") or {}),
+            metrics=data.get("metrics"),
         )

@@ -1,6 +1,6 @@
 """Synthetic workload traces standing in for the paper's 28 benchmarks."""
 
-from repro.trace.cache import TraceCache, packed_streams
+from repro.trace._cache import TraceCache, packed_streams
 from repro.trace.events import MemAccess
 from repro.trace.packed import PackedTrace
 from repro.trace.patterns import (

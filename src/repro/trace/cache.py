@@ -1,135 +1,17 @@
-"""The content-addressed on-disk cache of packed workload traces.
+"""Deprecated alias of :mod:`repro.trace._cache`.
 
-Synthetic trace generation is deterministic in ``(workload, cores,
-per_core, seed)``, so a trace only ever needs to be *generated* once —
-every later run (in this process, in a pool worker, or next week)
-replays the packed binary form instead of re-driving the pattern
-generators.  The cache lives beside the result cache:
-
-* **Location.** ``$REPRO_TRACE_CACHE_DIR`` if set, else ``traces/``
-  under the result-cache root (``$REPRO_CACHE_DIR`` or
-  ``~/.cache/repro``).
-* **Key.** sha256 of the sorted-key JSON of the recipe plus
-  :data:`~repro.trace.packed.FORMAT_VERSION` — bumping the format
-  version (or changing any recipe axis) addresses a different entry.
-* **Degradation.** A corrupt or truncated file is a miss: the trace is
-  rebuilt from the generators and the entry rewritten (atomically, so
-  concurrent builders never observe torn files).
-* **Switches.** ``REPRO_TRACE_CACHE=0`` disables just this cache;
-  ``REPRO_CACHE=0`` disables it along with the result cache.
+Import :mod:`repro.api` (``run`` replays cached packed traces) instead;
+this shim keeps existing deep imports working for one release.
 """
 
-from __future__ import annotations
+from repro._compat import warn_deprecated_module
 
-import hashlib
-import json
-import os
-import tempfile
-from pathlib import Path
-from typing import Optional
+warn_deprecated_module("repro.trace.cache", "repro.trace._cache")
 
-from repro.common.errors import SimulationError
-from repro.trace.packed import FORMAT_VERSION, PackedTrace
-from repro.trace.workloads import build_streams
-
-
-def trace_cache_dir() -> Path:
-    env = os.environ.get("REPRO_TRACE_CACHE_DIR", "")
-    if env:
-        return Path(env)
-    base = os.environ.get("REPRO_CACHE_DIR", "")
-    root = Path(base) if base else Path(os.path.expanduser("~")) / ".cache" / "repro"
-    return root / "traces"
-
-
-def trace_cache_enabled() -> bool:
-    own = os.environ.get("REPRO_TRACE_CACHE", "")
-    if own:
-        return own != "0"
-    return os.environ.get("REPRO_CACHE", "1") != "0"
-
-
-def trace_digest(workload: str, cores: int, per_core: int, seed: int) -> str:
-    recipe = {
-        "format": FORMAT_VERSION,
-        "workload": workload,
-        "cores": cores,
-        "per_core": per_core,
-        "seed": seed,
-    }
-    blob = json.dumps(recipe, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()
-
-
-class TraceCache:
-    """Mirror of the engine's ``ResultCache``, holding packed binaries."""
-
-    def __init__(self, root: Optional[Path] = None,
-                 enabled: Optional[bool] = None):
-        self.root = Path(root) if root is not None else trace_cache_dir()
-        self.enabled = trace_cache_enabled() if enabled is None else enabled
-        self.hits = 0
-        self.misses = 0
-        self.built = 0
-
-    def path_for(self, workload: str, cores: int, per_core: int,
-                 seed: int) -> Path:
-        digest = trace_digest(workload, cores, per_core, seed)
-        return self.root / digest[:2] / f"{digest}.bin"
-
-    def get(self, workload: str, cores: int, per_core: int,
-            seed: int) -> Optional[PackedTrace]:
-        if not self.enabled:
-            return None
-        path = self.path_for(workload, cores, per_core, seed)
-        try:
-            trace = PackedTrace.load(path)
-        except (OSError, SimulationError, ValueError):
-            # Absent, corrupt, or truncated: a rebuild overwrites it.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
-
-    def put(self, trace: PackedTrace, workload: str, cores: int,
-            per_core: int, seed: int) -> None:
-        if not self.enabled:
-            return
-        path = self.path_for(workload, cores, per_core, seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                trace.dump(fh)
-            os.replace(tmp, path)  # atomic on POSIX
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    def get_or_build(self, workload: str, cores: int, per_core: int,
-                     seed: int) -> PackedTrace:
-        trace = self.get(workload, cores, per_core, seed)
-        if trace is not None:
-            return trace
-        trace = PackedTrace.from_streams(
-            build_streams(workload, cores=cores, per_core=per_core, seed=seed))
-        self.built += 1
-        self.put(trace, workload, cores, per_core, seed)
-        return trace
-
-
-def packed_streams(workload: str, cores: int = 16, per_core: int = 2000,
-                   seed: int = 0,
-                   cache: Optional[TraceCache] = None) -> PackedTrace:
-    """The packed trace for one recipe, built at most once per cache.
-
-    A fresh :class:`TraceCache` is consulted per call (construction is a
-    couple of environment reads) so environment changes — notably the
-    hermetic test fixtures — always take effect.
-    """
-    cache = cache if cache is not None else TraceCache()
-    return cache.get_or_build(workload, cores=cores, per_core=per_core,
-                              seed=seed)
+from repro.trace._cache import (  # noqa: E402,F401
+    TraceCache,
+    packed_streams,
+    trace_cache_dir,
+    trace_cache_enabled,
+    trace_digest,
+)

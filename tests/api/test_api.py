@@ -1,0 +1,120 @@
+"""The public surface: repro.api works, repro re-exports it, old deep
+import paths still work but warn."""
+
+import importlib
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.common.params import ProtocolKind
+
+
+class TestFacade:
+    def test_run_by_short_name(self):
+        result = api.run("histogram", "mw", cores=4, per_core=150)
+        assert result.name == "histogram"
+        assert result.config.protocol is ProtocolKind.PROTOZOA_MW
+        assert result.stats.accesses == 4 * 150
+
+    def test_run_with_obs(self):
+        result = api.run("histogram", "mesi", cores=2, per_core=100,
+                         obs=True)
+        assert result.obs is not None
+        assert result.obs.events.seen == result.stats.accesses
+
+    def test_build_machine_from_overrides(self):
+        engine = api.build_machine(protocol="sw+mr", cores=4)
+        assert engine.config.protocol is ProtocolKind.PROTOZOA_SW_MR
+        assert engine.config.cores == 4
+
+    def test_build_machine_from_config(self):
+        config = api.SystemConfig(protocol=ProtocolKind.MESI, cores=2)
+        engine = api.build_machine(config)
+        assert engine.config is config
+
+    def test_build_machine_rejects_config_plus_overrides(self):
+        config = api.SystemConfig()
+        with pytest.raises(api.ConfigError):
+            api.build_machine(config, cores=8)
+
+    def test_sweep_runs_grid(self):
+        specs = [api.RunSpec("histogram", kind, cores=2, per_core=80)
+                 for kind in (ProtocolKind.MESI, ProtocolKind.PROTOZOA_MW)]
+        results = api.sweep(specs, jobs=1)
+        assert set(results) == set(specs)
+        for spec, result in results.items():
+            assert result.config.protocol is spec.protocol
+
+    def test_sweep_matches_run_counters(self):
+        spec = api.RunSpec("histogram", ProtocolKind.MESI, cores=2,
+                           per_core=80)
+        swept = api.sweep([spec], jobs=1)[spec]
+        direct = api.run("histogram", "mesi", cores=2, per_core=80)
+        assert swept.stats.to_dict() == direct.stats.to_dict()
+
+    def test_save_and_load_trace(self, tmp_path):
+        streams = api.build_streams("histogram", cores=2, per_core=50)
+        path = tmp_path / "t.trace"
+        count = api.save_trace(streams, path)
+        assert count == 100
+        back = api.load_trace(path)
+        assert [len(s) for s in back] == [50, 50]
+        assert back[0][0].addr == streams[0][0].addr
+
+    def test_parse_protocol_accepts_all_spellings(self):
+        assert api.parse_protocol("MESI") is ProtocolKind.MESI
+        assert api.parse_protocol("sw+mr") is ProtocolKind.PROTOZOA_SW_MR
+        assert api.parse_protocol("swmr") is ProtocolKind.PROTOZOA_SW_MR
+        assert api.parse_protocol("protozoa-mw") is ProtocolKind.PROTOZOA_MW
+        assert (api.parse_protocol(ProtocolKind.PROTOZOA_SW)
+                is ProtocolKind.PROTOZOA_SW)
+        with pytest.raises(api.ConfigError):
+            api.parse_protocol("moesi")
+
+
+class TestTopLevelReexports:
+    def test_repro_reexports_the_api_surface(self):
+        for name in api.__all__:
+            assert getattr(repro, name) is getattr(api, name), name
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestDeprecationShims:
+    SHIMS = {
+        "repro.experiments.engine": "repro.experiments._engine",
+        "repro.system.simulator": "repro.system._simulator",
+        "repro.trace.cache": "repro.trace._cache",
+    }
+
+    @pytest.mark.parametrize("old", sorted(SHIMS))
+    def test_old_path_warns(self, old):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module(old)
+            importlib.reload(module)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   and "repro.api" in str(w.message) for w in caught), old
+
+    @pytest.mark.parametrize("old", sorted(SHIMS))
+    def test_shim_preserves_identity(self, old):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = importlib.import_module(old)
+        impl = importlib.import_module(self.SHIMS[old])
+        public = [n for n in dir(shim) if not n.startswith("_")]
+        assert public, old
+        for name in public:
+            if hasattr(impl, name):
+                assert getattr(shim, name) is getattr(impl, name), name
+
+    def test_runspec_identity_across_paths(self):
+        """Cached pickles and dict keys rely on one RunSpec class."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.experiments.engine import RunSpec as old_spec
+        assert old_spec is api.RunSpec is repro.RunSpec

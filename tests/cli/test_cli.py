@@ -137,7 +137,7 @@ class TestJobsFlag:
             assert args.jobs == 3
 
     def test_jobs_flag_overrides_repro_jobs_env(self, monkeypatch, capsys):
-        from repro.experiments.engine import default_jobs
+        from repro.experiments._engine import default_jobs
 
         monkeypatch.setenv("REPRO_JOBS", "7")
         rc = main(["run", "--workload", "linear-regression", "--protocol",
@@ -193,3 +193,100 @@ class TestJobsFlag:
         rc = main(["bench", "--quick", "--assert-warm",
                    "--min-parallel-speedup", "0.75"])
         assert rc == 0
+
+
+class TestEventsCommand:
+    ARGS = ["events", "--workload", "histogram", "--cores", "2",
+            "--scale", "80"]
+
+    def test_dump_is_jsonl(self, capsys):
+        import json as json_mod
+        assert main(self.ARGS) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 160  # 2 cores x 80 accesses, all retained
+        rec = json_mod.loads(lines[0])
+        assert {"seq", "core", "op", "addr", "hit", "latency",
+                "msgs", "actions"} <= set(rec)
+
+    def test_filters_apply(self, capsys):
+        import json as json_mod
+        assert main(self.ARGS + ["--core", "1", "--misses-only",
+                                 "--limit", "5"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 5
+        for line in lines:
+            rec = json_mod.loads(line)
+            assert rec["core"] == 1
+            assert rec["hit"] is False
+
+    def test_summary_includes_phases(self, capsys):
+        import json as json_mod
+        assert main(self.ARGS + ["--summary"]) == 0
+        summary = json_mod.loads(capsys.readouterr().out)
+        assert summary["transactions"] == 160
+        assert summary["hits"] + summary["misses"] == 160
+        assert "simulate" in summary["phase_seconds"]
+
+    def test_ring_and_sample_flags(self, capsys):
+        import json as json_mod
+        assert main(self.ARGS + ["--ring", "16", "--sample", "4",
+                                 "--summary"]) == 0
+        summary = json_mod.loads(capsys.readouterr().out)
+        assert summary["transactions"] == 160
+        assert summary["recorded"] == 40
+        assert summary["retained"] == 16
+        assert summary["sample_every"] == 4
+
+    def test_out_file_then_input_summary(self, tmp_path, capsys):
+        import json as json_mod
+        dump = tmp_path / "events.jsonl"
+        assert main(self.ARGS + ["--out", str(dump)]) == 0
+        capsys.readouterr()
+        assert main(["events", "--input", str(dump)]) == 0
+        summary = json_mod.loads(capsys.readouterr().out)
+        assert summary["retained"] == 160
+
+    def test_obs_env_not_required(self, monkeypatch, capsys):
+        """The command enables observability itself; REPRO_OBS stays off."""
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert main(self.ARGS + ["--summary"]) == 0
+        assert "transactions" in capsys.readouterr().out
+
+
+class TestCommonFlags:
+    def test_shared_flags_everywhere(self):
+        parser = build_parser()
+        for cmd in ("run", "report", "bench", "check", "events", "verify",
+                    "compare", "replay", "trace", "inspect", "list"):
+            argv = [cmd, "--jobs", "2", "--seed", "3", "--protocol", "mesi",
+                    "--trace-dir", "/tmp/t"]
+            if cmd in ("run", "trace", "compare"):
+                argv += ["--workload", "kmeans"]
+            if cmd == "trace":
+                argv += ["--out", "x.trace"]
+            if cmd == "replay":
+                argv += ["--trace", "x.trace"]
+            args = parser.parse_args(argv)
+            assert (args.jobs, args.seed, args.protocol, args.trace_dir) == \
+                (2, 3, "mesi", "/tmp/t"), cmd
+
+    def test_per_command_protocol_defaults(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["run", "--workload", "kmeans"]).protocol == "mw"
+        assert parser.parse_args(
+            ["replay", "--trace", "x"]).protocol == "mw"
+        assert parser.parse_args(
+            ["events"]).protocol == "mw"
+        assert parser.parse_args(["verify"]).protocol == ""
+        assert parser.parse_args(["check"]).protocol == ""
+
+    def test_trace_dir_flag_exports_env(self, monkeypatch, capsys, tmp_path):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        target = tmp_path / "traces"
+        rc = main(["run", "--workload", "histogram", "--scale", "50",
+                   "--cores", "2", "--trace-dir", str(target)])
+        assert rc == 0
+        import os
+        assert os.environ["REPRO_TRACE_CACHE_DIR"] == str(target)
+        assert any(target.iterdir())  # the packed trace landed there

@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro.common.params import ProtocolKind
-from repro.experiments.engine import (
+from repro.experiments._engine import (
     SCHEMA_VERSION,
     ExperimentEngine,
     ResultCache,
@@ -47,7 +47,7 @@ class TestSpecDigest:
     def test_digest_covers_schema_version(self, monkeypatch):
         spec = RunSpec("kmeans", ProtocolKind.MESI)
         before = spec.digest()
-        monkeypatch.setattr("repro.experiments.engine.SCHEMA_VERSION",
+        monkeypatch.setattr("repro.experiments._engine.SCHEMA_VERSION",
                             SCHEMA_VERSION + 1)
         assert spec.digest() != before
 
@@ -238,3 +238,61 @@ class TestMatrixOnEngine:
         a = matrix.run("kmeans", ProtocolKind.MESI)
         b = matrix.run("kmeans", ProtocolKind.MESI)
         assert a is b
+
+
+class TestWorkerMetrics:
+    """REPRO_OBS reaches pool workers; metric dumps merge back into the
+    engine's session registry regardless of how a result was served."""
+
+    def accesses_counter_total(self, engine):
+        return sum(value for key, value in engine.metrics.counters().items()
+                   if key.startswith("repro_accesses_total{"))
+
+    def test_serial_runs_feed_engine_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        specs = specs_for(per_core=60)
+        engine = ExperimentEngine(jobs=1,
+                                  cache=ResultCache(tmp_path, enabled=True))
+        results = engine.run_many(specs)
+        expected = sum(r.stats.accesses for r in results.values())
+        assert self.accesses_counter_total(engine) == expected
+
+    def test_pool_runs_feed_engine_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        specs = specs_for(per_core=60)
+        with ExperimentEngine(jobs=2,
+                              cache=ResultCache(tmp_path, enabled=True)) as engine:
+            results = engine.run_many(specs)
+        assert engine.executed == len(specs)
+        expected = sum(r.stats.accesses for r in results.values())
+        assert self.accesses_counter_total(engine) == expected
+
+    def test_cache_hits_also_absorb_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        spec = RunSpec("kmeans", ProtocolKind.MESI, cores=4, per_core=60)
+        warm = ExperimentEngine(jobs=1,
+                                cache=ResultCache(tmp_path, enabled=True))
+        warm.run(spec)
+        read_back = ExperimentEngine(jobs=1,
+                                     cache=ResultCache(tmp_path, enabled=True))
+        result = read_back.run(spec)
+        assert read_back.executed == 0  # pure cache hit
+        assert self.accesses_counter_total(read_back) == result.stats.accesses
+
+    def test_without_obs_engine_metrics_stay_empty(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        engine = ExperimentEngine(jobs=1,
+                                  cache=ResultCache(tmp_path, enabled=True))
+        engine.run_many(specs_for(per_core=60))
+        assert len(engine.metrics) == 0
+
+    def test_parallel_and_serial_metrics_agree(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        specs = specs_for(per_core=60)
+        serial = ExperimentEngine(jobs=1,
+                                  cache=ResultCache(tmp_path / "s", enabled=True))
+        serial.run_many(specs)
+        with ExperimentEngine(jobs=2,
+                              cache=ResultCache(tmp_path / "p", enabled=True)) as pooled:
+            pooled.run_many(specs)
+        assert serial.metrics.counters() == pooled.metrics.counters()

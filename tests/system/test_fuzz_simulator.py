@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.params import ProtocolKind, SystemConfig
 from repro.system.machine import build_protocol
-from repro.system.simulator import Simulator
+from repro.system._simulator import Simulator
 from repro.trace.events import MemAccess
 
 access = st.builds(

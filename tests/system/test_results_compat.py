@@ -1,0 +1,95 @@
+"""RunResult JSON round-trip: exact today, tolerant of tomorrow.
+
+The persistent result cache is read back by *older* code after schema
+extensions (new counters, new sections).  These tests pin the contract:
+unknown keys at every nesting level are ignored, missing optional keys
+fall back to defaults, and a same-version round trip loses nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments._engine import RunSpec, execute_spec
+from repro.system.results import RunResult, config_from_dict
+
+
+@pytest.fixture(scope="module")
+def result():
+    return execute_spec(RunSpec("histogram", ProtocolKind.PROTOZOA_MW,
+                                cores=4, per_core=150))
+
+
+@pytest.fixture()
+def wire(result):
+    return json.loads(json.dumps(result.to_dict()))
+
+
+class TestExactRoundTrip:
+    def test_counters_survive(self, result, wire):
+        back = RunResult.from_dict(wire)
+        assert back.stats.to_dict() == result.stats.to_dict()
+        assert back.to_dict() == result.to_dict()
+
+    def test_figure_accessors_agree(self, result, wire):
+        back = RunResult.from_dict(wire)
+        assert back.mpki() == result.mpki()
+        assert back.flit_hops() == result.flit_hops()
+        assert back.dir_owned_buckets() == result.dir_owned_buckets()
+
+    def test_metrics_key_absent_when_unobserved(self, wire):
+        assert "metrics" not in wire
+
+    def test_metrics_round_trip_when_present(self, wire):
+        wire["metrics"] = {"counters": {"repro_x_total": 3}, "histograms": {}}
+        back = RunResult.from_dict(wire)
+        assert back.metrics == wire["metrics"]
+        assert back.to_dict()["metrics"] == wire["metrics"]
+
+
+class TestForwardCompat:
+    def test_unknown_top_level_keys_ignored(self, result, wire):
+        wire["future_section"] = {"anything": [1, 2, 3]}
+        wire["schema_note"] = "written by v99"
+        back = RunResult.from_dict(wire)
+        assert back.stats.to_dict() == result.stats.to_dict()
+
+    def test_unknown_stats_keys_ignored(self, result, wire):
+        wire["stats"]["future_counter"] = 12345
+        wire["stats"]["traffic"]["future_bytes"] = 9
+        wire["stats"]["miss_latency"]["future_field"] = None
+        back = RunResult.from_dict(wire)
+        assert back.stats.to_dict() == result.stats.to_dict()
+
+    def test_unknown_config_keys_ignored(self, result, wire):
+        wire["config"]["interconnect_flavor"] = "torus"
+        back = RunResult.from_dict(wire)
+        assert back.config == result.config
+
+    def test_missing_optional_keys_default(self, wire):
+        del wire["name"]
+        del wire["flit_hops"]
+        del wire["dir_owned_buckets"]
+        for key in ("read_hits", "truncated", "miss_latency"):
+            del wire["stats"][key]
+        back = RunResult.from_dict(wire)
+        assert back.name == ""
+        assert back.flit_hops() == 0
+        assert back.dir_owned_buckets() == {}
+        assert back.stats.read_hits == 0
+        assert back.stats.truncated is False
+        assert back.stats.miss_latency.count == 0
+
+    def test_missing_config_axes_fall_back_to_defaults(self, wire):
+        kept = {"protocol": wire["config"]["protocol"]}
+        back = config_from_dict(kept)
+        assert back.protocol is ProtocolKind.PROTOZOA_MW
+        assert back.cores == 16  # the SystemConfig default
+
+    def test_future_control_categories_kept(self, wire):
+        wire["stats"]["traffic"]["control"]["FUTURE"] = 64
+        back = RunResult.from_dict(wire)
+        assert back.stats.traffic.control["FUTURE"] == 64
+        # and they survive a re-serialization, so a newer reader loses nothing
+        assert back.to_dict()["stats"]["traffic"]["control"]["FUTURE"] == 64

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import SimulationError
 from repro.common.params import ProtocolKind
-from repro.system.simulator import Simulator
+from repro.system._simulator import Simulator
 from repro.trace.events import MemAccess
 
 from tests.conftest import make_engine

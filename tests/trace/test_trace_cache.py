@@ -4,8 +4,8 @@ import os
 
 import pytest
 
-import repro.trace.cache as trace_cache_mod
-from repro.trace.cache import (
+import repro.trace._cache as trace_cache_mod
+from repro.trace._cache import (
     TraceCache,
     packed_streams,
     trace_cache_dir,
@@ -34,7 +34,7 @@ class TestDigest:
 
     def test_digest_covers_format_version(self, monkeypatch):
         before = trace_digest("kmeans", 4, 80, 0)
-        monkeypatch.setattr("repro.trace.cache.FORMAT_VERSION", 999)
+        monkeypatch.setattr("repro.trace._cache.FORMAT_VERSION", 999)
         assert trace_digest("kmeans", 4, 80, 0) != before
 
 
