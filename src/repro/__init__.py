@@ -22,6 +22,7 @@ from repro.api import (
     CacheGeometry,
     ConfigError,
     ExperimentEngine,
+    FaultPlan,
     InvariantViolation,
     L1Organization,
     L2Config,
@@ -34,9 +35,11 @@ from repro.api import (
     ProtocolKind,
     ReproError,
     ResultCache,
+    RetryPolicy,
     RunResult,
     RunSpec,
     SimulationError,
+    SweepJournal,
     SystemConfig,
     TraceProfile,
     WORKLOADS,
@@ -63,6 +66,7 @@ __all__ = [
     "CacheGeometry",
     "ConfigError",
     "ExperimentEngine",
+    "FaultPlan",
     "InvariantViolation",
     "L1Organization",
     "L2Config",
@@ -76,10 +80,12 @@ __all__ = [
     "ProtocolKind",
     "ReproError",
     "ResultCache",
+    "RetryPolicy",
     "RunResult",
     "RunSpec",
     "SimulationError",
     "Simulator",
+    "SweepJournal",
     "SystemConfig",
     "TraceProfile",
     "WORKLOADS",

@@ -29,6 +29,9 @@ Layers
   :func:`save_trace`, :func:`profile_streams`;
 * observability — :class:`ObsConfig` / :class:`Observability`
   (see docs/observability.md), off by default and zero-cost when off;
+* resilience — :class:`RetryPolicy` (engine retry/backoff/degradation),
+  :class:`SweepJournal` (crash-resume), :class:`FaultPlan`
+  (``REPRO_FAULTS`` chaos testing); see docs/resilience.md;
 * machinery — :func:`build_machine` for direct protocol-engine access
   (walkthroughs, tests, model checking).
 """
@@ -56,6 +59,7 @@ from repro.common.params import (
 )
 from repro.experiments._engine import ExperimentEngine, ResultCache, RunSpec
 from repro.obs import ObsConfig, Observability
+from repro.resilience import FaultPlan, RetryPolicy, SweepJournal
 from repro.system.machine import build_protocol, simulate
 from repro.system.results import RunResult
 from repro.trace.analysis import TraceProfile, profile_streams
@@ -199,4 +203,8 @@ __all__ = [
     # observability
     "ObsConfig",
     "Observability",
+    # resilience (fault injection, retries, crash-resume)
+    "FaultPlan",
+    "RetryPolicy",
+    "SweepJournal",
 ]

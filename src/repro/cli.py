@@ -13,6 +13,10 @@ Commands
 ``replay``    run a saved trace file under a chosen protocol
 ``events``    trace per-transaction coherence events (repro.obs) and
               dump/filter/summarize them
+``chaos``     run a sweep under an injected fault plan (repro.resilience)
+              and assert results stay bit-identical to a fault-free run
+``doctor``    audit result/trace cache integrity (checksums, format
+              versions, orphaned temp files, quarantine inventory)
 
 Every subcommand shares one option vocabulary (``--jobs``, ``--seed``,
 ``--protocol``, ``--trace-dir``) via a common parent parser, so flags
@@ -184,6 +188,29 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _resolve_journal(args) -> Optional["SweepJournal"]:
+    """The sweep journal for ``--journal``/``--resume`` (None when unused).
+
+    ``--resume`` without an explicit path uses the default journal beside
+    the result cache; a journal is opened (and appended to) whenever
+    either flag is given.
+    """
+    from repro.resilience.journal import SweepJournal
+
+    path = getattr(args, "journal", "")
+    if not path and getattr(args, "resume", False):
+        from repro.experiments._engine import default_cache_dir
+
+        path = str(default_cache_dir() / "journal.jsonl")
+    if not path:
+        return None
+    journal = SweepJournal(path)
+    if getattr(args, "resume", False) and len(journal):
+        print(f"resuming: {len(journal)} run(s) already journaled at {path}",
+              file=sys.stderr)
+    return journal
+
+
 def cmd_report(args) -> int:
     from repro.experiments._engine import ExperimentEngine
     from repro.experiments.report import write_report
@@ -197,7 +224,9 @@ def cmd_report(args) -> int:
     settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
                                   seed=args.seed,
                                   workloads=default_settings().workloads)
-    engine = ExperimentEngine(jobs=jobs) if jobs else ExperimentEngine()
+    journal = _resolve_journal(args)
+    engine = ExperimentEngine(jobs=jobs, journal=journal) if jobs \
+        else ExperimentEngine(journal=journal)
     try:
         matrix = ResultMatrix(settings, engine=engine)
         if args.out:
@@ -208,6 +237,8 @@ def cmd_report(args) -> int:
             write_report(matrix)
     finally:
         engine.close()
+        if journal is not None:
+            journal.close()
     return 0
 
 
@@ -217,7 +248,9 @@ def cmd_bench(args) -> int:
     jobs = _apply_common(args)
     report = run_bench(quick=args.quick, jobs=jobs,
                        out_path=args.out,
-                       record_baseline=args.record_baseline)
+                       record_baseline=args.record_baseline,
+                       journal_path=args.journal or None,
+                       resume=args.resume)
     print(render(report))
     print(f"\nbench report written to {args.out}")
     if args.assert_warm:
@@ -406,6 +439,57 @@ def cmd_events(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a sweep under injected faults; require bit-identical results."""
+    from repro.resilience.chaos import render as render_chaos
+    from repro.resilience.chaos import run_chaos
+
+    _apply_common(args)
+    workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
+                 if args.workloads else None)
+    jobs = args.jobs if args.jobs and args.jobs > 0 else None
+    report = run_chaos(
+        faults=args.faults,
+        seed=args.seed,
+        workloads=workloads or ("kmeans", "histogram"),
+        cores=args.cores,
+        per_core=args.scale,
+        jobs=jobs,
+        retries=args.retries,
+        timeout_s=args.timeout if args.timeout > 0 else None,
+        keep=args.keep,
+        out=args.out,
+    )
+    print(render_chaos(report))
+    return 0 if report["ok"] else 1
+
+
+def cmd_doctor(args) -> int:
+    """Audit cache/trace-store integrity; exit nonzero on problems."""
+    from pathlib import Path
+
+    from repro.resilience.doctor import run_doctor
+
+    _apply_common(args)
+    report = run_doctor(
+        result_root=Path(args.cache_dir) if args.cache_dir else None,
+        trace_root=Path(args.trace_dir) if args.trace_dir else None,
+        fix=args.fix,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _add_journal_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", default="",
+                        help="record completed runs to this JSONL sweep "
+                             "journal (crash-safe; see docs/resilience.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="load the journal first and replay only "
+                             "uncompleted runs (default journal: "
+                             "<cache-dir>/journal.jsonl)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="regenerate every table/figure",
                        parents=[_common_parent()])
     p.add_argument("--out", default="")
+    _add_journal_args(p)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_report)
 
@@ -457,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-baseline", action="store_true",
                    help="re-record benchmarks/baseline_protozoa.json from this "
                         "machine's microbenchmark")
+    _add_journal_args(p)
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("verify", help="run the random protocol tester",
@@ -512,6 +598,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", required=True)
     _add_machine_args(p)
     p.set_defaults(fn=cmd_replay, protocol="mw")
+
+    p = sub.add_parser("chaos",
+                       help="sweep under an injected fault plan and assert "
+                            "bit-identical results (repro.resilience)",
+                       parents=[_common_parent()])
+    p.add_argument("--faults", default="",
+                   help="REPRO_FAULTS-grammar fault plan (default: one of "
+                        "every fault kind; see docs/resilience.md)")
+    p.add_argument("--workloads", default="",
+                   help="comma-separated workload subset "
+                        "(default kmeans,histogram)")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--scale", type=int, default=300,
+                   help="accesses per core (default 300: chaos runs the "
+                        "matrix twice)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="parallel retry rounds before degrading to serial")
+    p.add_argument("--timeout", type=float, default=0.0,
+                   help="per-wait stall deadline in seconds (0: no deadline)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep the scratch directory (caches, journal, "
+                        "quarantine) for inspection")
+    p.add_argument("--out", default="",
+                   help="write the JSON chaos report here")
+    p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("doctor",
+                       help="audit result/trace cache integrity "
+                            "(entries, temp orphans, quarantine)",
+                       parents=[_common_parent()])
+    p.add_argument("--cache-dir", default="",
+                   help="result cache root to audit "
+                        "(default REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.add_argument("--fix", action="store_true",
+                   help="remove orphaned temp files and quarantine corrupt "
+                        "entries (payloads are never deleted)")
+    p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("events",
                        help="trace per-transaction coherence events and "

@@ -37,6 +37,14 @@ The fan-out path is built so pool overhead stays off the hot path:
 Simulations are deterministic, so parallel, serial, cached, and
 packed-vs-object results are bit-identical
 (``tests/experiments/test_engine.py`` pins this down).
+
+The engine is also the recovery layer of :mod:`repro.resilience`
+(docs/resilience.md): failed or stalled chunks retry under a seeded
+backoff policy, dead pools rebuild, exhausted retries degrade to serial
+in-process execution, corrupt cache blobs quarantine instead of
+aborting, and an optional sweep journal records completions for
+``--resume``.  ``repro chaos`` pins down that a sweep under injected
+faults still converges to results bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -44,15 +52,21 @@ from __future__ import annotations
 import json
 import hashlib
 import os
-import tempfile
+import time
 import weakref
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from repro.common.params import ProtocolKind, SystemConfig
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, process_registry
+from repro.resilience.faults import SITE_CACHE_CORRUPT, get_injector
+from repro.resilience.journal import SweepJournal
+from repro.resilience.log import warn as resilience_warn
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.storage import durable_replace, quarantine_file
 from repro.system.machine import simulate
 from repro.system.results import RunResult
 from repro.trace._cache import packed_streams, trace_cache_dir
@@ -153,7 +167,15 @@ def _worker_run(payload: Dict) -> Dict:
 
 
 def _worker_run_chunk(payloads: List[Dict]) -> List[str]:
-    """Chunked pool entry point: recipes in, compact serialized results out."""
+    """Chunked pool entry point: recipes in, compact serialized results out.
+
+    The fault-injection sites live at chunk start (worker kill, transient
+    exception, stall); with ``REPRO_FAULTS`` unset the check is one
+    environment lookup.
+    """
+    injector = get_injector()
+    if injector is not None:
+        injector.on_worker_chunk()
     return [_serialize_result(execute_spec(RunSpec.from_payload(payload)))
             for payload in payloads]
 
@@ -183,13 +205,23 @@ def default_jobs() -> int:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of serialized run results."""
+    """Content-addressed on-disk store of serialized run results.
+
+    Reads distinguish *absent* (a plain miss) from *corrupt* (the file
+    exists but does not parse back into a ``RunResult``): corrupt blobs
+    move into ``quarantine/`` beside the cache root — never silently
+    deleted — and the miss triggers a fresh run that rewrites the entry.
+    Writes are crash-atomic: same-directory temp file, fsync, rename
+    (:func:`repro.resilience.storage.durable_replace`), so a mid-write
+    kill can never leave a half-written blob behind.
+    """
 
     def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else enabled
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def path_for(self, spec: RunSpec) -> Path:
         digest = spec.digest()
@@ -199,42 +231,45 @@ class ResultCache:
         if not self.enabled:
             return None
         path = self.path_for(spec)
+        injector = get_injector()
+        if injector is not None:
+            injector.maybe_corrupt(SITE_CACHE_CORRUPT, path)
         try:
-            with open(path) as fh:
-                data = json.load(fh)
-            result = RunResult.from_dict(data)
-        except (OSError, ValueError, KeyError, TypeError):
-            # Absent or torn/stale entry: treat as a miss (a fresh run
-            # overwrites it).
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            # UnicodeDecodeError is a ValueError: a non-UTF-8 blob takes
+            # the same quarantine path as malformed JSON.
+            result = RunResult.from_dict(json.loads(raw.decode("utf-8")))
+        except (ValueError, KeyError, TypeError) as exc:
+            # The entry exists but is damaged: preserve the evidence in
+            # quarantine and treat it as a miss (the rerun rewrites it).
+            self.quarantined += 1
+            quarantined = quarantine_file(
+                self.root, path, f"{type(exc).__name__}: {exc}")
+            resilience_warn(
+                "result-cache-corrupt",
+                f"unreadable result blob {path.name}",
+                cache="result", error=str(exc),
+                quarantined=str(quarantined) if quarantined else "FAILED")
             self.misses += 1
             return None
         self.hits += 1
         return result
 
-    def _write_atomic(self, path: Path, blob: str) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)  # atomic on POSIX
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
     def put(self, spec: RunSpec, result: RunResult) -> None:
         if not self.enabled:
             return
-        self._write_atomic(self.path_for(spec), _serialize_result(result))
+        durable_replace(self.path_for(spec), _serialize_result(result))
 
     def put_blob(self, spec: RunSpec, blob: str) -> None:
         """Store an already-serialized result verbatim (the pool path)."""
         if not self.enabled:
             return
-        self._write_atomic(self.path_for(spec), blob)
+        durable_replace(self.path_for(spec), blob)
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -242,7 +277,7 @@ def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
 
 
 class ExperimentEngine:
-    """Cache-aware, optionally parallel execution of run specs.
+    """Cache-aware, optionally parallel, fault-tolerant execution of specs.
 
     The worker pool is created lazily on the first fan-out and persists
     for the engine's lifetime; ``close()`` (or using the engine as a
@@ -250,13 +285,32 @@ class ExperimentEngine:
     finalizer.  ``warm_pool()`` spins the workers up eagerly — call it
     before a timed region so pool start-up is not attributed to the
     sweep being measured.
+
+    Failure handling (see docs/resilience.md): a failed or stalled chunk
+    is retried in later rounds under the engine's
+    :class:`~repro.resilience.retry.RetryPolicy` (seeded exponential
+    backoff between rounds); a dead worker (``BrokenProcessPool``)
+    triggers a pool rebuild; once retries or rebuilds are exhausted the
+    engine *degrades to serial* in-process execution, which cannot lose
+    work to worker faults — so ``run_many`` either returns every spec's
+    result or raises, never returns a partial matrix.  Retry, rebuild,
+    stall, and degradation counters land in :attr:`metrics`
+    (``repro_engine_*``).  An attached
+    :class:`~repro.resilience.journal.SweepJournal` records every
+    completed spec for crash-resume.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 journal: Optional[SweepJournal] = None):
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = cache if cache is not None else ResultCache()
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
+        self.journal = journal
         self.executed = 0  # specs actually simulated (cache misses)
+        self.pool_rebuilds = 0
+        self.degraded = False  # pool gave up; everything runs serial now
         # Session-level aggregation of per-run metric dumps (repro.obs).
         # Workers inherit REPRO_OBS through the pool environment, attach a
         # registry dump to each serialized result, and every result served
@@ -269,8 +323,9 @@ class ExperimentEngine:
     # -- pool lifecycle ------------------------------------------------------
 
     def warm_pool(self) -> Optional[ProcessPoolExecutor]:
-        """The persistent pool (created on first use; ``None`` if serial)."""
-        if self.jobs <= 1:
+        """The persistent pool (created on first use; ``None`` if serial
+        or the engine has degraded to serial execution)."""
+        if self.jobs <= 1 or self.degraded:
             return None
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
@@ -292,6 +347,36 @@ class ExperimentEngine:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def _abandon_pool(self) -> None:
+        """Drop the pool without waiting on it (a worker died or stalled;
+        blocking on its remaining tasks could block forever)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()  # shutdown(wait=False, cancel_futures=True)
+            self._pool_finalizer = None
+        self._pool = None
+
+    def _rebuild_pool(self, reason: str) -> None:
+        """Replace a broken/stalled pool; degrade to serial past the limit."""
+        self._abandon_pool()
+        self.pool_rebuilds += 1
+        self.metrics.inc("repro_engine_pool_rebuilds_total", reason=reason)
+        resilience_warn("engine-pool-rebuild",
+                        f"worker pool rebuilt ({reason})",
+                        rebuilds=self.pool_rebuilds)
+        if self.pool_rebuilds > self.retry.max_pool_rebuilds:
+            self._degrade("pool-rebuilds-exhausted")
+
+    def _degrade(self, reason: str) -> None:
+        """Give up on parallel fan-out for this engine's lifetime."""
+        if self.degraded:
+            return
+        self.degraded = True
+        self.metrics.inc("repro_engine_degraded_total", reason=reason)
+        resilience_warn("engine-degraded",
+                        "falling back to serial in-process execution",
+                        reason=reason)
+        self._abandon_pool()
+
     def __enter__(self) -> "ExperimentEngine":
         return self
 
@@ -305,13 +390,19 @@ class ExperimentEngine:
             self.metrics.merge_dict(result.metrics)
         return result
 
+    def _journal_record(self, spec: RunSpec) -> None:
+        if self.journal is not None:
+            self.journal.record(spec.digest(), spec.payload())
+
     def run(self, spec: RunSpec) -> RunResult:
         cached = self.cache.get(spec)
         if cached is not None:
+            self._journal_record(spec)
             return self._absorb_metrics(cached)
         result = execute_spec(spec)
         self.executed += 1
         self.cache.put(spec, result)
+        self._journal_record(spec)
         return self._absorb_metrics(result)
 
     # -- batched runs ----------------------------------------------------------
@@ -323,7 +414,9 @@ class ExperimentEngine:
         Misses are submitted to the persistent pool in chunks
         (``_CHUNKS_PER_WORKER`` per worker) so several simulations share
         one task's IPC; each worker ships back compact JSON blobs that
-        land in the result cache byte-for-byte.
+        land in the result cache byte-for-byte.  Worker failures are
+        retried and, past the retry policy's limits, served serially —
+        the returned dict always covers every spec.
         """
         out: Dict[RunSpec, RunResult] = {}
         todo: List[RunSpec] = []
@@ -334,29 +427,107 @@ class ExperimentEngine:
             cached = self.cache.get(spec)
             if cached is not None:
                 out[spec] = self._absorb_metrics(cached)
+                self._journal_record(spec)
             else:
                 todo.append(spec)
                 pending.add(spec)
         if not todo:
             return out
-        if self.jobs <= 1 or len(todo) == 1:
-            for spec in todo:
-                result = execute_spec(spec)
-                self.executed += 1
-                self.cache.put(spec, result)
-                out[spec] = self._absorb_metrics(result)
+        if self.jobs <= 1 or len(todo) == 1 or self.degraded:
+            self._run_serial(todo, out)
             return out
+        self._run_parallel(todo, out)
+        return out
+
+    def _run_serial(self, specs: List[RunSpec],
+                    out: Dict[RunSpec, RunResult]) -> None:
+        """In-process execution: immune to pool faults by construction."""
+        for spec in specs:
+            result = execute_spec(spec)
+            self.executed += 1
+            self.cache.put(spec, result)
+            out[spec] = self._absorb_metrics(result)
+            self._journal_record(spec)
+
+    def _run_parallel(self, todo: List[RunSpec],
+                      out: Dict[RunSpec, RunResult]) -> None:
+        """Fan out with bounded retries; finish serially if the pool fails."""
+        policy = self.retry
+        pending = list(todo)
+        attempt = 0
+        while pending and not self.degraded:
+            pending = self._parallel_round(pending, out)
+            if not pending:
+                return
+            attempt += 1
+            if attempt > policy.max_retries:
+                self._degrade("retries-exhausted")
+                break
+            self.metrics.inc("repro_engine_retries_total", len(pending))
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                time.sleep(delay)
+        if pending:
+            self._run_serial(pending, out)
+
+    def _parallel_round(self, specs: List[RunSpec],
+                        out: Dict[RunSpec, RunResult]) -> List[RunSpec]:
+        """One submit-and-drain pass; returns the specs that must retry."""
         pool = self.warm_pool()
-        size = max(1, -(-len(todo) // (self.jobs * _CHUNKS_PER_WORKER)))
-        chunks = [todo[i:i + size] for i in range(0, len(todo), size)]
+        if pool is None:  # degraded between rounds
+            return specs
+        size = max(1, -(-len(specs) // (self.jobs * _CHUNKS_PER_WORKER)))
+        chunks = [specs[i:i + size] for i in range(0, len(specs), size)]
         futures = {
             pool.submit(_worker_run_chunk, [s.payload() for s in chunk]): chunk
             for chunk in chunks
         }
-        for future in as_completed(futures):
-            chunk = futures[future]
-            for spec, blob in zip(chunk, future.result()):
-                self.executed += 1
-                self.cache.put_blob(spec, blob)
-                out[spec] = self._absorb_metrics(RunResult.from_dict(json.loads(blob)))
-        return out
+        failed: List[RunSpec] = []
+        broken = False
+        worker_died = False
+        not_done = set(futures)
+        while not_done:
+            done, not_done = wait(not_done, timeout=self.retry.timeout_s,
+                                  return_when=FIRST_COMPLETED)
+            if not done:
+                # Deadline passed with zero progress: everything still
+                # outstanding counts as stalled and re-dispatches.
+                self.metrics.inc("repro_engine_stalls_total", len(not_done))
+                resilience_warn("engine-task-stall",
+                                "no chunk completed within the deadline",
+                                timeout_s=self.retry.timeout_s)
+                for future in not_done:
+                    future.cancel()
+                    failed.extend(futures[future])
+                broken = True
+                not_done = set()
+                break
+            for future in done:
+                chunk = futures[future]
+                try:
+                    blobs = future.result()
+                except BrokenProcessPool:
+                    worker_died = True
+                    broken = True
+                    failed.extend(chunk)
+                except Exception as exc:
+                    self.metrics.inc("repro_engine_worker_errors_total",
+                                     kind=type(exc).__name__)
+                    failed.extend(chunk)
+                else:
+                    for spec, blob in zip(chunk, blobs):
+                        self.executed += 1
+                        self.cache.put_blob(spec, blob)
+                        out[spec] = self._absorb_metrics(
+                            RunResult.from_dict(json.loads(blob)))
+                        self._journal_record(spec)
+            if broken:
+                # A broken pool poisons every outstanding future.
+                for future in not_done:
+                    failed.extend(futures[future])
+                break
+        if worker_died:
+            self.metrics.inc("repro_engine_worker_deaths_total")
+        if broken:
+            self._rebuild_pool("worker-death" if worker_died else "stall")
+        return failed

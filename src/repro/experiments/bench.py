@@ -103,14 +103,18 @@ def prewarm_traces(specs: List[RunSpec]) -> Dict:
     }
 
 
-def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path) -> Dict:
+def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path,
+               journal=None) -> Dict:
     """One engine sweep against ``cache_root``; returns timing + cache stats.
 
     The worker pool is warmed *before* the clock starts: pool start-up is
     paid once per engine, and the sweep time should measure throughput,
-    not process creation.
+    not process creation.  An optional sweep journal records completions
+    for crash-resume (``repro bench --journal/--resume``).
     """
-    engine = ExperimentEngine(jobs=jobs, cache=ResultCache(cache_root, enabled=True))
+    engine = ExperimentEngine(jobs=jobs,
+                              cache=ResultCache(cache_root, enabled=True),
+                              journal=journal)
     try:
         pool_start = time.perf_counter()
         engine.warm_pool()
@@ -197,7 +201,9 @@ def measure_obs_overhead(spec: RunSpec, repeats: int) -> Dict:
 
 def run_bench(quick: bool = False, jobs: Optional[int] = None,
               out_path: str = "BENCH_protozoa.json",
-              record_baseline: bool = False) -> Dict:
+              record_baseline: bool = False,
+              journal_path: Optional[str] = None,
+              resume: bool = False) -> Dict:
     jobs = default_jobs() if jobs is None else max(1, jobs)
     if quick:
         # per_core=500 keeps the timed region long enough (~0.5s serial)
@@ -207,7 +213,21 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
         workloads, cores, per_core, repeats = FULL_WORKLOADS, 16, 1000, 5
     specs = matrix_specs(workloads, cores=cores, per_core=per_core)
 
-    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    # With a journal the sweep state must survive a crash: use a
+    # persistent scratch beside the journal (kept across invocations so
+    # --resume serves completed cells as cache hits) instead of a
+    # throwaway tempdir.
+    journal = None
+    if journal_path:
+        from repro.resilience.journal import SweepJournal
+
+        journal = SweepJournal(journal_path)
+        scratch = Path(journal_path).resolve().parent / "bench-scratch"
+        scratch.mkdir(parents=True, exist_ok=True)
+        keep_scratch = True
+    else:
+        scratch = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+        keep_scratch = False
     old_trace_dir = os.environ.get("REPRO_TRACE_CACHE_DIR")
     os.environ["REPRO_TRACE_CACHE_DIR"] = str(scratch / "traces")
     # Observability must not leak into the timed sweeps: an ambient
@@ -216,10 +236,15 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
     # it deliberately, inside its own timed region.
     old_obs = os.environ.pop("REPRO_OBS", None)
     try:
+        resumed = len(journal) if journal is not None else 0
         prewarm = prewarm_traces(specs + [MICROBENCH])
-        serial_cold = time_sweep(specs, jobs=1, cache_root=scratch / "serial")
-        parallel_cold = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
-        warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel")
+        serial_cold = time_sweep(specs, jobs=1, cache_root=scratch / "serial",
+                                 journal=journal)
+        parallel_cold = time_sweep(specs, jobs=jobs,
+                                   cache_root=scratch / "parallel",
+                                   journal=journal)
+        warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel",
+                          journal=journal)
         single = time_single_run(MICROBENCH, repeats=repeats)
         obs_overhead = measure_obs_overhead(MICROBENCH, repeats=repeats)
     finally:
@@ -229,7 +254,10 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
             os.environ["REPRO_TRACE_CACHE_DIR"] = old_trace_dir
         if old_obs is not None:
             os.environ["REPRO_OBS"] = old_obs
-        shutil.rmtree(scratch, ignore_errors=True)
+        if journal is not None:
+            journal.close()
+        if not keep_scratch:
+            shutil.rmtree(scratch, ignore_errors=True)
 
     if record_baseline:
         payload = {
@@ -299,6 +327,14 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
         "obs_overhead": {k: v for k, v in obs_overhead.items()
                          if k != "phase_seconds"},
     }
+    if journal is not None:
+        report["journal"] = {
+            "path": str(journal.path),
+            "resume": resume,
+            "resumed": resumed,
+            "completed": len(journal),
+            "recorded": journal.recorded,
+        }
     with open(out_path, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")

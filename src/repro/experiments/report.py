@@ -49,13 +49,21 @@ def write_report(matrix: Optional[ResultMatrix] = None,
     # first: disk-cache misses fan out across the worker pool instead of
     # trickling through the harnesses' per-cell run() calls.
     start = time.time()
+    journal = getattr(matrix.engine, "journal", None)
+    already = len(journal) if journal is not None else 0
     matrix.prewarm(block_sizes=table1.BLOCK_SIZES)
     # Progress goes to stderr: the report body must not depend on how many
     # runs happened to be cached.
+    resume_note = ""
+    if journal is not None:
+        # Journaled completions from a previous (possibly killed) sweep
+        # come back as cache hits; only the remainder re-simulated.
+        resume_note = (f", journal {already} resumed + "
+                       f"{journal.recorded} new at {journal.path}")
     print(f"runs ready in {time.time() - start:.1f}s "
           f"({matrix.engine.jobs} jobs, "
           f"{matrix.engine.cache.hits} cached, "
-          f"{matrix.engine.executed} simulated)", file=sys.stderr)
+          f"{matrix.engine.executed} simulated{resume_note})", file=sys.stderr)
     for title, module in SECTIONS:
         start = time.time()
         body = module.render(matrix)

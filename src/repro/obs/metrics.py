@@ -153,6 +153,31 @@ class MetricsRegistry:
         return registry
 
 
+_PROCESS_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def process_registry() -> MetricsRegistry:
+    """The process-wide registry for machinery-level (non-simulation) series.
+
+    Per-run simulation metrics stay on per-run registries (attached to
+    each :class:`~repro.system.results.RunResult`); this singleton is
+    where cross-cutting infrastructure — cache quarantines, resilience
+    retries, rebuild warnings — accumulates counters that no single run
+    owns.  ``repro chaos`` and ``repro doctor`` read it back, and the
+    experiment engine folds it into its session registry.
+    """
+    global _PROCESS_REGISTRY
+    if _PROCESS_REGISTRY is None:
+        _PROCESS_REGISTRY = MetricsRegistry()
+    return _PROCESS_REGISTRY
+
+
+def reset_process_registry() -> None:
+    """Fresh process-wide registry (test isolation; chaos phase splits)."""
+    global _PROCESS_REGISTRY
+    _PROCESS_REGISTRY = None
+
+
 def record_run_metrics(registry: MetricsRegistry, stats, **labels) -> None:
     """Project one run's :class:`RunStats` into the unified namespace.
 

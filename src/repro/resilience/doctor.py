@@ -1,0 +1,237 @@
+"""``repro doctor``: cache/trace-store integrity audit.
+
+Walks the result cache and the packed trace cache and verifies what the
+hot paths assume:
+
+* every ``.json`` result entry parses back into a ``RunResult`` and
+  lives in the fan-out directory matching its digest;
+* every ``.bin`` packed trace passes the full format check
+  (:func:`repro.trace.packed.verify_file`) and its format version is
+  current;
+* no orphaned ``*.tmp`` files linger from interrupted writers;
+* the ``quarantine/`` directories are inventoried (manifest entries vs
+  actual files), so quarantined corruption is visible, not forgotten.
+
+Read-only by default; ``--fix`` deletes orphaned temp files and moves
+corrupt entries into quarantine (never plain deletion of a payload).
+The process exits nonzero when any check fails, which makes the command
+usable as a CI/cron health probe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.resilience.log import warn as resilience_warn
+from repro.resilience.storage import (
+    QUARANTINE_DIRNAME,
+    quarantine_dir,
+    quarantine_file,
+    read_quarantine_manifest,
+)
+
+
+@dataclass
+class CheckResult:
+    """One audit section: a verdict plus its supporting detail lines."""
+
+    name: str
+    ok: bool = True
+    details: List[str] = field(default_factory=list)
+
+    def fail(self, line: str) -> None:
+        self.ok = False
+        self.details.append(line)
+
+    def note(self, line: str) -> None:
+        self.details.append(line)
+
+
+@dataclass
+class DoctorReport:
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        lines = []
+        for check in self.checks:
+            lines.append(f"[{'PASS' if check.ok else 'FAIL'}] {check.name}")
+            lines.extend(f"    {line}" for line in check.details)
+        lines.append("")
+        lines.append(f"doctor: {'all checks passed' if self.ok else 'PROBLEMS FOUND'}")
+        return "\n".join(lines)
+
+
+def _payload_files(root: Path, suffix: str) -> List[Path]:
+    """Cache entries under the two-hex-char fan-out dirs (not quarantine)."""
+    files: List[Path] = []
+    if not root.is_dir():
+        return files
+    for child in sorted(root.iterdir()):
+        if not child.is_dir() or child.name == QUARANTINE_DIRNAME:
+            continue
+        files.extend(sorted(child.glob(f"*{suffix}")))
+    return files
+
+
+def _tmp_files(root: Path, exclude: Optional[Path] = None) -> List[Path]:
+    if not root.is_dir():
+        return []
+    found = (p for p in root.rglob("*.tmp")
+             if QUARANTINE_DIRNAME not in p.parts)
+    if exclude is not None:
+        found = (p for p in found if not _is_under(p, exclude))
+    return sorted(found)
+
+
+def _is_under(path: Path, ancestor: Path) -> bool:
+    try:
+        path.relative_to(ancestor)
+    except ValueError:
+        return False
+    return True
+
+
+def _check_orphans(root: Path, label: str, fix: bool,
+                   exclude: Optional[Path] = None) -> CheckResult:
+    check = CheckResult(f"{label}: orphaned temp files")
+    orphans = _tmp_files(root, exclude)
+    if not orphans:
+        check.note("none")
+        return check
+    for orphan in orphans:
+        if fix:
+            try:
+                orphan.unlink()
+                check.note(f"removed {orphan}")
+            except OSError as exc:
+                check.fail(f"could not remove {orphan}: {exc}")
+        else:
+            check.fail(f"{orphan} (interrupted writer; --fix removes it)")
+    return check
+
+
+def _check_quarantine(root: Path, label: str) -> CheckResult:
+    check = CheckResult(f"{label}: quarantine inventory")
+    qdir = quarantine_dir(root)
+    entries = read_quarantine_manifest(root)
+    files = ([p for p in sorted(qdir.iterdir())
+              if p.is_file() and p.name != "MANIFEST.jsonl"]
+             if qdir.is_dir() else [])
+    if not files and not entries:
+        check.note("empty")
+        return check
+    check.note(f"{len(files)} quarantined blob(s), "
+               f"{len(entries)} manifest entr(ies)")
+    manifest_names = {entry.get("file") for entry in entries}
+    for path in files:
+        reason = next((entry.get("reason", "?") for entry in entries
+                       if entry.get("file") == path.name), None)
+        if reason is None:
+            check.note(f"{path.name}: no manifest entry")
+        else:
+            check.note(f"{path.name}: {reason}")
+    for name in sorted(manifest_names - {p.name for p in files}):
+        if name:
+            check.note(f"{name}: listed in manifest but blob is gone")
+    return check
+
+
+def check_result_cache(root: Path, fix: bool = False,
+                       exclude: Optional[Path] = None) -> List[CheckResult]:
+    from repro.system.results import RunResult
+
+    label = f"result cache {root}"
+    entries = CheckResult(f"{label}: entry integrity")
+    files = _payload_files(root, ".json")
+    if not root.is_dir():
+        entries.note("directory absent (nothing cached yet)")
+        return [entries]
+    good = 0
+    for path in files:
+        problem = None
+        if path.parent.name != path.name[:2]:
+            problem = "fan-out directory does not match digest prefix"
+        else:
+            try:
+                with open(path) as fh:
+                    RunResult.from_dict(json.load(fh))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                problem = f"{type(exc).__name__}: {exc}"
+        if problem is None:
+            good += 1
+            continue
+        if fix:
+            moved = quarantine_file(root, path, problem)
+            entries.note(f"{path.name}: {problem} -> quarantined"
+                         if moved else f"{path.name}: {problem} "
+                                       "(quarantine FAILED)")
+            if moved is None:
+                entries.ok = False
+        else:
+            entries.fail(f"{path.name}: {problem}")
+    entries.note(f"{good}/{len(files)} entries verified")
+    return [entries,
+            _check_orphans(root, label, fix, exclude=exclude),
+            _check_quarantine(root, label)]
+
+
+def check_trace_cache(root: Path, fix: bool = False) -> List[CheckResult]:
+    from repro.trace.packed import verify_file
+
+    label = f"trace cache {root}"
+    entries = CheckResult(f"{label}: packed-trace integrity")
+    if not root.is_dir():
+        entries.note("directory absent (nothing cached yet)")
+        return [entries]
+    files = _payload_files(root, ".bin")
+    good = 0
+    for path in files:
+        if path.parent.name != path.name[:2]:
+            ok, reason = False, "fan-out directory does not match digest prefix"
+        else:
+            ok, reason = verify_file(path)
+        if ok:
+            good += 1
+            continue
+        if fix:
+            moved = quarantine_file(root, path, reason)
+            entries.note(f"{path.name}: {reason} -> quarantined"
+                         if moved else f"{path.name}: {reason} "
+                                       "(quarantine FAILED)")
+            if moved is None:
+                entries.ok = False
+        else:
+            entries.fail(f"{path.name}: {reason}")
+    entries.note(f"{good}/{len(files)} traces verified")
+    return [entries,
+            _check_orphans(root, label, fix),
+            _check_quarantine(root, label)]
+
+
+def run_doctor(result_root: Optional[Path] = None,
+               trace_root: Optional[Path] = None,
+               fix: bool = False) -> DoctorReport:
+    """Audit both caches; defaults to the live environment-derived roots."""
+    from repro.experiments._engine import default_cache_dir
+    from repro.trace._cache import trace_cache_dir
+
+    result_root = Path(result_root) if result_root else default_cache_dir()
+    trace_root = Path(trace_root) if trace_root else trace_cache_dir()
+    report = DoctorReport()
+    # The default trace cache nests under the result cache root; keep its
+    # files out of the result-cache orphan scan so nothing double-reports.
+    report.checks.extend(check_result_cache(result_root, fix=fix,
+                                            exclude=trace_root))
+    report.checks.extend(check_trace_cache(trace_root, fix=fix))
+    if not report.ok:
+        resilience_warn("doctor-problems",
+                        "cache integrity audit found problems",
+                        failed=sum(1 for c in report.checks if not c.ok))
+    return report

@@ -1,0 +1,319 @@
+"""Deterministic, seeded fault injection for the experiment pipeline.
+
+A **fault plan** names a set of injection *sites* and how often each
+fires; an **injector** is the armed plan, consulted from the production
+code at each site.  With ``REPRO_FAULTS`` unset (the default)
+:func:`get_injector` returns ``None`` and every site costs one
+environment lookup — the recovery machinery it exercises stays
+completely cold.
+
+Grammar (the value of ``REPRO_FAULTS``)::
+
+    REPRO_FAULTS = clause (";" clause)*
+    clause       = "seed=" INT | site (":" key "=" INT)*
+    site         = "worker-kill" | "worker-exc" | "task-stall"
+                 | "cache-corrupt" | "trace-corrupt"
+    key          = "n" (budget, default 1) | "every" (default 1)
+                 | "ms" (stall milliseconds, default 50)
+                 | "mode" (corruption: 0 garbage / 1 truncate, default 0)
+
+Example: ``worker-kill:n=1;worker-exc:n=2:every=2;cache-corrupt:n=2``.
+
+Sites
+-----
+``worker-kill``
+    ``os._exit`` inside a pool worker at chunk start — the parent sees a
+    ``BrokenProcessPool`` and must rebuild the pool.
+``worker-exc``
+    Raise :class:`TransientFault` inside the worker chunk — the parent
+    sees a failed future and must retry the chunk.
+``task-stall``
+    Sleep ``ms`` milliseconds inside the worker chunk — with a per-task
+    deadline armed the parent sees a stall and must re-dispatch.
+``cache-corrupt`` / ``trace-corrupt``
+    Overwrite (or truncate) an existing result/trace blob immediately
+    before the cache reads it — the read path must detect, quarantine,
+    and rebuild.
+
+Determinism
+-----------
+Each site keeps an *arrival counter*; a site fires when the counter
+matches a schedule derived from ``sha256(seed, site)`` (every
+``every``-th arrival, phase-shifted by the seed) **and** budget remains.
+Budgets are per-process by default; pointing ``REPRO_FAULTS_DIR`` at a
+shared directory makes them global across pool workers and worker
+restarts (each firing atomically claims one token file, so a replacement
+worker does not re-fire a spent fault).  Which worker observes a fault
+still depends on scheduling — the guarantee ``repro chaos`` enforces is
+that the *final results* are bit-identical, not the interleaving.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+SITE_WORKER_KILL = "worker-kill"
+SITE_WORKER_EXC = "worker-exc"
+SITE_TASK_STALL = "task-stall"
+SITE_CACHE_CORRUPT = "cache-corrupt"
+SITE_TRACE_CORRUPT = "trace-corrupt"
+
+#: Every site the production code consults, with a one-line description
+#: (the fault-site catalogue rendered by ``repro doctor --help`` / docs).
+FAULT_SITES: Dict[str, str] = {
+    SITE_WORKER_KILL: "kill a pool worker process at chunk start",
+    SITE_WORKER_EXC: "raise a transient exception inside a worker chunk",
+    SITE_TASK_STALL: "stall a worker chunk past its deadline (ms=...)",
+    SITE_CACHE_CORRUPT: "corrupt a ResultCache blob just before it is read",
+    SITE_TRACE_CORRUPT: "corrupt a packed TraceCache blob just before it is read",
+}
+
+#: Exit status a killed worker dies with (distinctive in core-dump logs).
+KILL_EXIT_CODE = 23
+
+MODE_GARBAGE = 0
+MODE_TRUNCATE = 1
+
+_GARBAGE = b"\xde\xad\xbe\xef" * 16
+
+
+class TransientFault(RuntimeError):
+    """The injected worker exception (picklable across the pool boundary)."""
+
+
+class FaultPlanError(ValueError):
+    """``REPRO_FAULTS`` could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's firing rule: budget, cadence, and site parameters."""
+
+    site: str
+    count: int = 1      # total firings allowed (the budget)
+    every: int = 1      # fire on every Nth arrival at the site
+    ms: int = 50        # task-stall only: sleep this many milliseconds
+    mode: int = MODE_GARBAGE  # corruption sites: garbage vs truncate
+
+    def clause(self) -> str:
+        parts = [self.site]
+        defaults = FaultSpec(self.site)
+        for key in ("count", "every", "ms", "mode"):
+            value = getattr(self, key)
+            if value != getattr(defaults, key):
+                parts.append(f"{'n' if key == 'count' else key}={value}")
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec` rules (the parsed ``REPRO_FAULTS``)."""
+
+    seed: int = 0
+    sites: Dict[str, FaultSpec] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        seed = 0
+        sites: Dict[str, FaultSpec] = {}
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                try:
+                    seed = int(clause[5:])
+                except ValueError:
+                    raise FaultPlanError(f"bad seed clause {clause!r}")
+                continue
+            head, _, rest = clause.partition(":")
+            if head not in FAULT_SITES:
+                raise FaultPlanError(
+                    f"unknown fault site {head!r} "
+                    f"(choose from {sorted(FAULT_SITES)})")
+            spec = FaultSpec(site=head)
+            for part in rest.split(":") if rest else ():
+                key, _, value = part.partition("=")
+                try:
+                    number = int(value)
+                except ValueError:
+                    raise FaultPlanError(f"bad parameter {part!r} in {clause!r}")
+                if key == "n":
+                    spec = replace(spec, count=max(0, number))
+                elif key == "every":
+                    spec = replace(spec, every=max(1, number))
+                elif key == "ms":
+                    spec = replace(spec, ms=max(0, number))
+                elif key == "mode":
+                    spec = replace(spec, mode=number)
+                else:
+                    raise FaultPlanError(f"unknown parameter {key!r} in {clause!r}")
+            sites[head] = spec
+        return cls(seed=seed, sites=sites)
+
+    def to_env(self) -> str:
+        """The canonical ``REPRO_FAULTS`` serialization of this plan."""
+        clauses = []
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        clauses.extend(self.sites[site].clause() for site in sorted(self.sites))
+        return ";".join(clauses)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+def corrupt_file(path, mode: int = MODE_GARBAGE) -> bool:
+    """Deterministically damage an existing blob in place.
+
+    ``MODE_GARBAGE`` stamps a recognizable byte pattern over the file
+    head (magic/JSON both die); ``MODE_TRUNCATE`` cuts the file in half.
+    Returns ``False`` (leaving the file alone) if it does not exist.
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return False
+    if mode == MODE_TRUNCATE:
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, size // 2))
+        return True
+    with open(path, "r+b") as fh:
+        fh.write(_GARBAGE[:max(1, min(len(_GARBAGE), size))])
+    return True
+
+
+class FaultInjector:
+    """An armed :class:`FaultPlan`, consulted at each injection site."""
+
+    def __init__(self, plan: FaultPlan, budget_dir: Optional[Path] = None):
+        self.plan = plan
+        self.budget_dir = Path(budget_dir) if budget_dir else None
+        self._arrivals: Dict[str, int] = {}
+        self._local_fired: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}  # firings observed in this process
+
+    # -- the seeded schedule -------------------------------------------------
+
+    def _offset(self, site: str, every: int) -> int:
+        digest = hashlib.sha256(f"{self.plan.seed}:{site}".encode()).digest()
+        return digest[0] % every
+
+    def schedule(self, site: str, arrivals: int) -> Tuple[int, ...]:
+        """Which of the next ``arrivals`` arrivals fire (ignoring budget).
+
+        Pure function of (seed, site, spec) — the determinism tests pin
+        same-seed schedules as identical and different seeds as allowed
+        to differ.
+        """
+        spec = self.plan.sites.get(site)
+        if spec is None:
+            return ()
+        offset = self._offset(site, spec.every)
+        return tuple(i for i in range(arrivals) if i % spec.every == offset)
+
+    # -- firing decisions ----------------------------------------------------
+
+    def should_fire(self, site: str) -> bool:
+        """Count one arrival at ``site``; decide (and claim budget) if it fires."""
+        spec = self.plan.sites.get(site)
+        if spec is None or spec.count <= 0:
+            return False
+        arrival = self._arrivals.get(site, 0)
+        self._arrivals[site] = arrival + 1
+        if arrival % spec.every != self._offset(site, spec.every):
+            return False
+        if not self._claim(site, spec.count):
+            return False
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    def _claim(self, site: str, budget: int) -> bool:
+        if self.budget_dir is None:
+            used = self._local_fired.get(site, 0)
+            if used >= budget:
+                return False
+            self._local_fired[site] = used + 1
+            return True
+        # Shared budget: atomically claim one token file.  O_EXCL makes
+        # each token single-claim across every process sharing the dir.
+        self.budget_dir.mkdir(parents=True, exist_ok=True)
+        for index in range(budget):
+            token = self.budget_dir / f"{site}.{index}"
+            try:
+                fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.write(fd, f"{os.getpid()}\n".encode())
+            os.close(fd)
+            return True
+        return False
+
+    def tokens_claimed(self, site: str) -> int:
+        """Global firings of ``site`` so far (needs a shared budget dir)."""
+        if self.budget_dir is None:
+            return self._local_fired.get(site, 0)
+        spec = self.plan.sites.get(site)
+        if spec is None:
+            return 0
+        return sum((self.budget_dir / f"{site}.{i}").exists()
+                   for i in range(spec.count))
+
+    # -- site helpers (called from production code) --------------------------
+
+    def on_worker_chunk(self) -> None:
+        """The worker-side sites, consulted at every chunk start."""
+        if self.should_fire(SITE_WORKER_KILL):
+            os._exit(KILL_EXIT_CODE)
+        if self.should_fire(SITE_WORKER_EXC):
+            raise TransientFault("injected transient worker fault")
+        if self.should_fire(SITE_TASK_STALL):
+            time.sleep(self.plan.sites[SITE_TASK_STALL].ms / 1000.0)
+
+    def maybe_corrupt(self, site: str, path) -> bool:
+        """Damage ``path`` if the site fires; arrivals only count when the
+        blob actually exists (a missing file is not an opportunity)."""
+        spec = self.plan.sites.get(site)
+        if spec is None or not os.path.exists(path):
+            return False
+        if not self.should_fire(site):
+            return False
+        return corrupt_file(path, spec.mode)
+
+
+# -- process-wide arming -----------------------------------------------------
+
+_CACHED: Tuple[Optional[Tuple[str, str]], Optional[FaultInjector]] = (None, None)
+
+
+def get_injector() -> Optional[FaultInjector]:
+    """The armed injector, or ``None`` when ``REPRO_FAULTS`` is unset.
+
+    The injector is cached per ``(REPRO_FAULTS, REPRO_FAULTS_DIR)`` value
+    so arrival counters persist across calls; changing either variable
+    mid-process re-arms from scratch.  The unarmed fast path is a single
+    environment lookup.
+    """
+    global _CACHED
+    text = os.environ.get("REPRO_FAULTS", "")
+    if not text:
+        return None
+    budget = os.environ.get("REPRO_FAULTS_DIR", "")
+    key = (text, budget)
+    if _CACHED[0] == key:
+        return _CACHED[1]
+    injector = FaultInjector(FaultPlan.parse(text),
+                             Path(budget) if budget else None)
+    _CACHED = (key, injector)
+    return injector
+
+
+def reset_injector() -> None:
+    """Drop the cached injector (tests; chaos between phases)."""
+    global _CACHED
+    _CACHED = (None, None)

@@ -1,0 +1,97 @@
+"""The sweep journal: crash-safe record of completed run specs.
+
+One JSONL line per completed :class:`~repro.experiments._engine.RunSpec`
+(its digest plus the human-readable payload), appended with
+flush+fsync the moment the result lands.  If the sweeping process is
+killed — SIGKILL included — the journal survives with at worst one torn
+final line, which the loader tolerates; re-running with ``--resume``
+loads the completed set so only uncompleted specs replay (their results
+are also in the result cache, so the resumed sweep serves them as
+hits and the report comes out identical).
+
+The journal is *append-only* and idempotent: recording an
+already-recorded digest is a no-op, so resumed sweeps never duplicate
+lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, FrozenSet, Optional, Set
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed spec digests."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._completed: Set[str] = set()
+        self._fh = None
+        self.recorded = 0      # lines appended by this process
+        self.resumed = 0       # digests loaded from a pre-existing file
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            fh = open(self.path, encoding="utf-8")
+        except OSError:
+            return
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    digest = entry["digest"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn final line from a killed writer
+                self._completed.add(digest)
+        self.resumed = len(self._completed)
+
+    # -- querying ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._completed)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._completed
+
+    def completed(self) -> FrozenSet[str]:
+        return frozenset(self._completed)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, digest: str, payload: Optional[Dict] = None) -> bool:
+        """Durably append one completion; no-op if already journaled."""
+        if digest in self._completed:
+            return False
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        entry = {"digest": digest}
+        if payload is not None:
+            entry["spec"] = payload
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._completed.add(digest)
+        self.recorded += 1
+        return True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"SweepJournal({str(self.path)!r}, completed={len(self)}, "
+                f"recorded={self.recorded})")

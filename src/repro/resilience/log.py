@@ -1,0 +1,53 @@
+"""Resilience warnings, surfaced through ``repro.obs`` instead of lost.
+
+Cache-layer recoveries (a corrupt trace rebuilt, a result blob
+quarantined) used to be invisible: the exception was swallowed and the
+rebuild went unrecorded, so a "rebuild storm" — every read corrupting
+and rebuilding — looked exactly like a healthy cache.  Every recovery
+now:
+
+* bumps ``repro_resilience_warnings_total{event=...}`` (plus any extra
+  labels) on the process-wide
+  :func:`repro.obs.metrics.process_registry`, where ``repro chaos`` /
+  ``repro doctor`` and the engine read it back;
+* appends a structured record to a small in-process ring
+  (:func:`recent_events`) for diagnostics;
+* emits a ``logging`` warning on the ``repro.resilience`` logger, so
+  operators see it on stderr without any opt-in.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from typing import Deque, Dict, List
+
+from repro.obs.metrics import process_registry
+
+WARNING_COUNTER = "repro_resilience_warnings_total"
+
+logger = logging.getLogger("repro.resilience")
+
+_EVENTS: Deque[Dict] = deque(maxlen=256)
+
+
+def warn(event: str, message: str = "", **labels) -> None:
+    """Record one recovery event: counter + structured record + log line."""
+    # Unbounded-cardinality fields (paths, error text) stay out of the
+    # counter's label set; the structured record keeps them.
+    process_registry().inc(WARNING_COUNTER, event=event,
+                           **{k: v for k, v in labels.items()
+                              if k not in ("path", "error", "quarantined")})
+    record = {"event": event, "message": message, **labels}
+    _EVENTS.append(record)
+    detail = " ".join(f"{k}={v}" for k, v in labels.items())
+    logger.warning("%s: %s%s", event, message, f" ({detail})" if detail else "")
+
+
+def recent_events() -> List[Dict]:
+    """The last 256 recovery events recorded in this process."""
+    return list(_EVENTS)
+
+
+def clear_events() -> None:
+    _EVENTS.clear()

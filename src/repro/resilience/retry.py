@@ -1,0 +1,71 @@
+"""Retry policy: per-task deadlines and seeded exponential backoff.
+
+The engine retries failed or stalled work in rounds; between rounds it
+sleeps a backoff drawn from a *deterministic* schedule — exponential in
+the attempt number, jittered by a hash of ``(seed, attempt)`` rather
+than a live RNG, so two runs with the same seed wait exactly the same
+amounts (``repro chaos`` depends on this for reproducible timings, and
+the determinism tests pin it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the engine recovers: deadlines, retries, backoff, degradation."""
+
+    #: Parallel retry rounds before degrading to serial execution.
+    max_retries: int = 3
+    #: First-retry backoff; doubles every further attempt.
+    backoff_base_s: float = 0.05
+    #: Ceiling on any single backoff sleep.
+    backoff_cap_s: float = 2.0
+    #: Per-wait deadline: if *no* chunk completes within this window the
+    #: outstanding tasks count as stalled and are re-dispatched.  ``None``
+    #: (the default) waits forever — exactly the pre-resilience behaviour.
+    timeout_s: Optional[float] = None
+    #: Worker-pool rebuilds tolerated before degrading to serial.
+    max_pool_rebuilds: int = 2
+    #: Seeds the backoff jitter (and nothing else).
+    seed: int = 0
+
+    def backoff(self, attempt: int) -> float:
+        """Deterministic backoff before retry round ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2 ** (attempt - 1)))
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode()).digest()
+        jitter = 0.5 + digest[0] / 510.0  # [0.5, 1.0]: never waits longer
+        return base * jitter
+
+    def schedule(self) -> List[float]:
+        """Every backoff this policy would sleep, in order."""
+        return [self.backoff(a) for a in range(1, self.max_retries + 1)]
+
+    @classmethod
+    def from_env(cls, env=None) -> "RetryPolicy":
+        """``REPRO_MAX_RETRIES`` / ``REPRO_TASK_TIMEOUT`` /
+        ``REPRO_BACKOFF_BASE`` / ``REPRO_RETRY_SEED`` overrides."""
+        env = os.environ if env is None else env
+        kwargs = {}
+        raw = env.get("REPRO_MAX_RETRIES", "")
+        if raw:
+            kwargs["max_retries"] = max(0, int(raw))
+        raw = env.get("REPRO_TASK_TIMEOUT", "")
+        if raw:
+            timeout = float(raw)
+            kwargs["timeout_s"] = timeout if timeout > 0 else None
+        raw = env.get("REPRO_BACKOFF_BASE", "")
+        if raw:
+            kwargs["backoff_base_s"] = max(0.0, float(raw))
+        raw = env.get("REPRO_RETRY_SEED", "")
+        if raw:
+            kwargs["seed"] = int(raw)
+        return cls(**kwargs)

@@ -1,0 +1,126 @@
+"""Durable writes and corrupt-blob quarantine for the on-disk caches.
+
+Two invariants the result and trace caches lean on:
+
+* **A mid-write kill can never leave a half-written blob.**
+  :func:`durable_replace` writes through a same-directory temp file,
+  fsyncs the data before the atomic rename, and fsyncs the directory
+  after it — so after a crash either the old bytes or the new bytes are
+  on disk, never a prefix.
+* **Corruption is never silently destroyed.** A blob that exists but
+  fails to parse moves into ``quarantine/`` beside the cache root (with
+  a manifest line recording where it came from and why) instead of
+  being deleted or overwritten in place, so the evidence survives for
+  ``repro doctor`` and post-mortems.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+QUARANTINE_DIRNAME = "quarantine"
+MANIFEST_NAME = "MANIFEST.jsonl"
+
+
+def fsync_directory(path) -> None:
+    """Persist a directory entry (rename durability); best-effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(path: Path, data, binary: bool = False) -> None:
+    """Atomically and durably install ``data`` at ``path``.
+
+    Temp file in the *same directory* (rename must not cross a
+    filesystem), fsync of the file before ``os.replace``, fsync of the
+    directory after — the sequence that makes the write crash-atomic.
+    ``data`` is ``str`` (text mode) or ``bytes``/a writer callable
+    (binary mode).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb" if binary else "w") as fh:
+            if callable(data):
+                data(fh)
+            else:
+                fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)  # atomic on POSIX
+        fsync_directory(path.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def quarantine_dir(root) -> Path:
+    """``quarantine/`` beside a cache root (not inside its fan-out dirs)."""
+    return Path(root) / QUARANTINE_DIRNAME
+
+
+def quarantine_file(root, path, reason: str) -> Optional[Path]:
+    """Move a corrupt blob into the cache's quarantine, never deleting it.
+
+    Returns the quarantined path, or ``None`` if the move failed (the
+    original file is then left exactly where it was — losing evidence is
+    worse than leaving a corrupt entry that the next read re-detects).
+    A manifest line records source, destination, and reason.
+    """
+    path = Path(path)
+    qdir = quarantine_dir(root)
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+    except OSError:
+        return None
+    entry = {"file": target.name, "from": str(path), "reason": reason,
+             "pid": os.getpid()}
+    try:
+        with open(qdir / MANIFEST_NAME, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError:
+        pass  # the quarantined blob itself is the record of last resort
+    return target
+
+
+def read_quarantine_manifest(root) -> List[Dict]:
+    """Parsed manifest entries (tolerating a torn final line)."""
+    manifest = quarantine_dir(root) / MANIFEST_NAME
+    entries: List[Dict] = []
+    try:
+        with open(manifest, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue  # torn tail from a crash mid-append
+    except OSError:
+        pass
+    return entries

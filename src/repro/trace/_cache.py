@@ -12,9 +12,13 @@ generators.  The cache lives beside the result cache:
 * **Key.** sha256 of the sorted-key JSON of the recipe plus
   :data:`~repro.trace.packed.FORMAT_VERSION` — bumping the format
   version (or changing any recipe axis) addresses a different entry.
-* **Degradation.** A corrupt or truncated file is a miss: the trace is
-  rebuilt from the generators and the entry rewritten (atomically, so
-  concurrent builders never observe torn files).
+* **Degradation.** A corrupt or truncated file is a miss: the damaged
+  blob moves into ``quarantine/`` beside the cache root (with the parse
+  error recorded through :mod:`repro.resilience.log`, so rebuild storms
+  are visible in the obs counters), then the trace is rebuilt from the
+  generators and the entry rewritten (atomically and durably — fsync
+  before rename — so concurrent builders and mid-write kills never
+  produce torn files).
 * **Switches.** ``REPRO_TRACE_CACHE=0`` disables just this cache;
   ``REPRO_CACHE=0`` disables it along with the result cache.
 """
@@ -24,11 +28,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Optional
 
 from repro.common.errors import SimulationError
+from repro.resilience.faults import SITE_TRACE_CORRUPT, get_injector
+from repro.resilience.log import warn as resilience_warn
+from repro.resilience.storage import durable_replace, quarantine_file
 from repro.trace.packed import FORMAT_VERSION, PackedTrace
 from repro.trace.workloads import build_streams
 
@@ -71,6 +77,7 @@ class TraceCache:
         self.hits = 0
         self.misses = 0
         self.built = 0
+        self.quarantined = 0
 
     def path_for(self, workload: str, cores: int, per_core: int,
                  seed: int) -> Path:
@@ -82,10 +89,27 @@ class TraceCache:
         if not self.enabled:
             return None
         path = self.path_for(workload, cores, per_core, seed)
+        injector = get_injector()
+        if injector is not None:
+            injector.maybe_corrupt(SITE_TRACE_CORRUPT, path)
         try:
             trace = PackedTrace.load(path)
-        except (OSError, SimulationError, ValueError):
-            # Absent, corrupt, or truncated: a rebuild overwrites it.
+        except OSError:
+            # Absent: a plain miss (the build writes it).
+            self.misses += 1
+            return None
+        except (SimulationError, ValueError) as exc:
+            # Corrupt or truncated: quarantine the evidence and surface
+            # the rebuild through repro.obs — a silent rebuild storm
+            # must not look like a healthy cache.
+            self.quarantined += 1
+            quarantined = quarantine_file(
+                self.root, path, f"{type(exc).__name__}: {exc}")
+            resilience_warn(
+                "trace-cache-corrupt",
+                f"unreadable packed trace {path.name}; rebuilding",
+                cache="trace", workload=workload, error=str(exc),
+                quarantined=str(quarantined) if quarantined else "FAILED")
             self.misses += 1
             return None
         self.hits += 1
@@ -96,18 +120,7 @@ class TraceCache:
         if not self.enabled:
             return
         path = self.path_for(workload, cores, per_core, seed)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                trace.dump(fh)
-            os.replace(tmp, path)  # atomic on POSIX
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        durable_replace(path, trace.dump, binary=True)
 
     def get_or_build(self, workload: str, cores: int, per_core: int,
                      seed: int) -> PackedTrace:

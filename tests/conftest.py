@@ -42,6 +42,28 @@ def _hermetic_trace_cache(tmp_path_factory):
     else:
         os.environ["REPRO_TRACE_CACHE_DIR"] = old
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_resilience_env():
+    """Strip ambient fault-injection / retry knobs from the environment.
+
+    An armed ``REPRO_FAULTS`` (or stray retry overrides) in the invoking
+    shell would perturb every engine-backed test; resilience tests arm
+    faults explicitly through monkeypatch instead.
+    """
+    import os
+
+    names = ("REPRO_FAULTS", "REPRO_FAULTS_DIR", "REPRO_MAX_RETRIES",
+             "REPRO_TASK_TIMEOUT", "REPRO_BACKOFF_BASE", "REPRO_RETRY_SEED")
+    saved = {name: os.environ.pop(name, None) for name in names}
+    from repro.resilience.faults import reset_injector
+
+    reset_injector()
+    yield
+    for name, value in saved.items():
+        if value is not None:
+            os.environ[name] = value
+
+
 ALL_KINDS = list(ProtocolKind)
 PROTOZOA_KINDS = [k for k in ALL_KINDS if k is not ProtocolKind.MESI]
 

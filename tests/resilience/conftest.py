@@ -1,0 +1,18 @@
+"""Resilience-suite isolation: every test starts with cold fault state."""
+
+import pytest
+
+from repro.obs.metrics import reset_process_registry
+from repro.resilience.faults import reset_injector
+from repro.resilience.log import clear_events
+
+
+@pytest.fixture(autouse=True)
+def _cold_fault_state():
+    reset_injector()
+    reset_process_registry()
+    clear_events()
+    yield
+    reset_injector()
+    reset_process_registry()
+    clear_events()

@@ -1,0 +1,135 @@
+"""``repro doctor``: integrity audit verdicts and --fix behaviour."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments._engine import ExperimentEngine, ResultCache, RunSpec
+from repro.resilience.doctor import (
+    check_result_cache,
+    check_trace_cache,
+    run_doctor,
+)
+from repro.resilience.storage import quarantine_dir
+from repro.trace._cache import TraceCache
+
+SPEC = RunSpec(workload="histogram", protocol=ProtocolKind.MESI,
+               cores=2, per_core=60, seed=0)
+RECIPE = dict(workload="histogram", cores=2, per_core=60, seed=0)
+
+
+@pytest.fixture()
+def result_root(tmp_path):
+    cache = ResultCache(tmp_path / "results", enabled=True)
+    with ExperimentEngine(jobs=1, cache=cache) as engine:
+        engine.run(SPEC)
+    return cache.root
+
+
+@pytest.fixture()
+def trace_root(tmp_path):
+    cache = TraceCache(tmp_path / "traces", enabled=True)
+    cache.get_or_build(**RECIPE)
+    return cache.root
+
+
+def verdict(checks):
+    return all(check.ok for check in checks)
+
+
+class TestResultCacheAudit:
+    def test_healthy_cache_passes(self, result_root):
+        assert verdict(check_result_cache(result_root))
+
+    def test_absent_cache_passes(self, tmp_path):
+        assert verdict(check_result_cache(tmp_path / "nowhere"))
+
+    def test_corrupt_entry_fails(self, result_root):
+        blob = next(result_root.glob("??/*.json"))
+        blob.write_bytes(b"\xde\xad not json")
+        checks = check_result_cache(result_root)
+        assert not verdict(checks)
+
+    def test_fix_quarantines_corrupt_entry(self, result_root):
+        blob = next(result_root.glob("??/*.json"))
+        blob.write_bytes(b"\xde\xad not json")
+        assert verdict(check_result_cache(result_root, fix=True))
+        assert not blob.exists()
+        assert (quarantine_dir(result_root) / blob.name).exists()
+        # A re-audit of the repaired cache is clean (quarantine listed).
+        assert verdict(check_result_cache(result_root))
+
+    def test_misfiled_entry_fails(self, result_root):
+        blob = next(result_root.glob("??/*.json"))
+        wrong = result_root / "zz"
+        wrong.mkdir()
+        blob.rename(wrong / blob.name)
+        assert not verdict(check_result_cache(result_root))
+
+    def test_orphan_tmp_file_fails_and_fix_removes(self, result_root):
+        orphan = result_root / "ab"
+        orphan.mkdir(exist_ok=True)
+        orphan = orphan / "tmpXYZ.tmp"
+        orphan.write_bytes(b"half-written")
+        assert not verdict(check_result_cache(result_root))
+        assert verdict(check_result_cache(result_root, fix=True))
+        assert not orphan.exists()
+
+    def test_excluded_subtree_not_scanned(self, result_root):
+        nested = result_root / "traces"
+        nested.mkdir()
+        (nested / "leftover.tmp").write_bytes(b"x")
+        assert not verdict(check_result_cache(result_root))
+        assert verdict(check_result_cache(result_root, exclude=nested))
+
+
+class TestTraceCacheAudit:
+    def test_healthy_cache_passes(self, trace_root):
+        assert verdict(check_trace_cache(trace_root))
+
+    def test_corrupt_trace_fails(self, trace_root):
+        blob = next(trace_root.glob("??/*.bin"))
+        blob.write_bytes(b"\xde\xad\xbe\xef")
+        assert not verdict(check_trace_cache(trace_root))
+
+    def test_truncated_trace_fails(self, trace_root):
+        blob = next(trace_root.glob("??/*.bin"))
+        blob.write_bytes(blob.read_bytes()[:10])
+        assert not verdict(check_trace_cache(trace_root))
+
+    def test_fix_quarantines_corrupt_trace(self, trace_root):
+        blob = next(trace_root.glob("??/*.bin"))
+        blob.write_bytes(b"\xde\xad\xbe\xef")
+        assert verdict(check_trace_cache(trace_root, fix=True))
+        assert not blob.exists()
+        assert (quarantine_dir(trace_root) / blob.name).exists()
+
+
+class TestRunDoctor:
+    def test_full_report_renders(self, result_root, trace_root):
+        report = run_doctor(result_root, trace_root)
+        assert report.ok
+        rendered = report.render()
+        assert "[PASS]" in rendered and "[FAIL]" not in rendered
+        assert "all checks passed" in rendered
+
+    def test_problem_flips_verdict_and_warns(self, result_root, trace_root):
+        from repro.obs.metrics import process_registry
+
+        blob = next(result_root.glob("??/*.json"))
+        blob.write_bytes(b"\xde\xad")
+        report = run_doctor(result_root, trace_root)
+        assert not report.ok
+        assert "PROBLEMS FOUND" in report.render()
+        assert any("doctor-problems" in key
+                   for key in process_registry().counters())
+
+    def test_nested_default_layout_no_double_report(self, result_root):
+        """The default trace cache nests under the result root; its temp
+        files must be attributed to the trace audit only."""
+        nested_traces = result_root / "traces"
+        cache = TraceCache(nested_traces, enabled=True)
+        cache.get_or_build(**RECIPE)
+        (nested_traces / "leftover.tmp").write_bytes(b"x")
+        report = run_doctor(result_root, nested_traces)
+        failing = [check.name for check in report.checks if not check.ok]
+        assert failing == [f"trace cache {nested_traces}: orphaned temp files"]

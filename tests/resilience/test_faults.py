@@ -1,0 +1,190 @@
+"""Fault-plan grammar, seeded schedules, and budget semantics."""
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FAULT_SITES,
+    MODE_TRUNCATE,
+    SITE_CACHE_CORRUPT,
+    SITE_TASK_STALL,
+    SITE_WORKER_EXC,
+    SITE_WORKER_KILL,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    corrupt_file,
+    get_injector,
+    reset_injector,
+)
+
+
+class TestGrammar:
+    def test_single_site_defaults(self):
+        plan = FaultPlan.parse("worker-kill")
+        spec = plan.sites[SITE_WORKER_KILL]
+        assert spec == FaultSpec(SITE_WORKER_KILL)
+        assert spec.count == 1 and spec.every == 1
+
+    def test_full_clause(self):
+        plan = FaultPlan.parse(
+            "seed=7;worker-exc:n=3:every=2;task-stall:ms=250;"
+            "cache-corrupt:mode=1")
+        assert plan.seed == 7
+        assert plan.sites[SITE_WORKER_EXC].count == 3
+        assert plan.sites[SITE_WORKER_EXC].every == 2
+        assert plan.sites[SITE_TASK_STALL].ms == 250
+        assert plan.sites[SITE_CACHE_CORRUPT].mode == MODE_TRUNCATE
+
+    def test_round_trip_through_env_form(self):
+        text = "seed=3;cache-corrupt:n=2;worker-exc:n=2:every=2;worker-kill"
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.to_env()) == plan
+
+    def test_to_env_is_canonical(self):
+        a = FaultPlan.parse("worker-kill;worker-exc:n=2")
+        b = FaultPlan.parse("worker-exc:n=2;worker-kill")
+        assert a.to_env() == b.to_env()
+
+    def test_empty_clauses_tolerated(self):
+        plan = FaultPlan.parse(";;worker-kill;;")
+        assert set(plan.sites) == {SITE_WORKER_KILL}
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("disk-on-fire")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("worker-kill:frequency=2")
+
+    def test_non_integer_parameter_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("worker-kill:n=lots")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("seed=x")
+
+    def test_every_documented_site_parses(self):
+        for site in FAULT_SITES:
+            assert site in FaultPlan.parse(site).sites
+
+    def test_with_seed(self):
+        assert FaultPlan.parse("worker-kill").with_seed(9).seed == 9
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan.parse("seed=5;worker-exc:n=99:every=3")
+        a = FaultInjector(plan).schedule(SITE_WORKER_EXC, 30)
+        b = FaultInjector(plan).schedule(SITE_WORKER_EXC, 30)
+        assert a == b and len(a) == 10
+
+    def test_schedule_is_phase_shifted_by_seed(self):
+        # Over many seeds every phase of a 5-cycle must appear: the seed
+        # genuinely moves *which* arrivals fire.
+        offsets = set()
+        for seed in range(40):
+            plan = FaultPlan.parse(f"seed={seed};worker-exc:n=99:every=5")
+            offsets.add(FaultInjector(plan).schedule(SITE_WORKER_EXC, 5)[0])
+        assert offsets == {0, 1, 2, 3, 4}
+
+    def test_should_fire_follows_schedule_and_budget(self):
+        plan = FaultPlan.parse("seed=1;worker-exc:n=2:every=3")
+        injector = FaultInjector(plan)
+        fired = [i for i in range(12) if injector.should_fire(SITE_WORKER_EXC)]
+        assert fired == list(injector.schedule(SITE_WORKER_EXC, 12))[:2]
+        assert injector.tokens_claimed(SITE_WORKER_EXC) == 2
+
+    def test_unlisted_site_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("worker-kill"))
+        assert not any(injector.should_fire(SITE_WORKER_EXC)
+                       for _ in range(10))
+
+
+class TestBudgets:
+    def test_shared_budget_dir_is_claimed_once_across_injectors(self, tmp_path):
+        """Two injectors sharing REPRO_FAULTS_DIR model a worker and its
+        replacement: the budget must not be re-fired by the new process."""
+        plan = FaultPlan.parse("worker-kill:n=1")
+        first = FaultInjector(plan, budget_dir=tmp_path)
+        second = FaultInjector(plan, budget_dir=tmp_path)
+        assert first.should_fire(SITE_WORKER_KILL)
+        assert not second.should_fire(SITE_WORKER_KILL)
+        assert first.tokens_claimed(SITE_WORKER_KILL) == 1
+        assert second.tokens_claimed(SITE_WORKER_KILL) == 1
+
+    def test_shared_budget_tokens_are_files(self, tmp_path):
+        plan = FaultPlan.parse("worker-exc:n=2")
+        injector = FaultInjector(plan, budget_dir=tmp_path)
+        assert injector.should_fire(SITE_WORKER_EXC)
+        assert injector.should_fire(SITE_WORKER_EXC)
+        assert not injector.should_fire(SITE_WORKER_EXC)
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "worker-exc.0", "worker-exc.1"]
+
+    def test_local_budget_without_dir(self):
+        injector = FaultInjector(FaultPlan.parse("worker-exc:n=2"))
+        fired = sum(injector.should_fire(SITE_WORKER_EXC) for _ in range(10))
+        assert fired == 2
+
+
+class TestCorruption:
+    def test_corrupt_garbage_overwrites_head(self, tmp_path):
+        path = tmp_path / "blob.json"
+        path.write_bytes(b"{" + b"x" * 100 + b"}")
+        assert corrupt_file(path)
+        assert path.read_bytes()[:4] == b"\xde\xad\xbe\xef"
+
+    def test_corrupt_truncate_halves(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"y" * 100)
+        assert corrupt_file(path, MODE_TRUNCATE)
+        assert path.stat().st_size == 50
+
+    def test_corrupt_missing_file_is_noop(self, tmp_path):
+        assert not corrupt_file(tmp_path / "absent")
+
+    def test_maybe_corrupt_only_counts_existing_files(self, tmp_path):
+        """A missing blob is not an arrival: the schedule must not burn
+        its firing opportunities on cold-cache misses."""
+        plan = FaultPlan.parse("cache-corrupt:n=1")
+        injector = FaultInjector(plan)
+        missing = tmp_path / "absent.json"
+        for _ in range(5):
+            assert not injector.maybe_corrupt(SITE_CACHE_CORRUPT, missing)
+        present = tmp_path / "present.json"
+        present.write_bytes(b"0123456789")
+        assert injector.maybe_corrupt(SITE_CACHE_CORRUPT, present)
+        assert present.read_bytes()[:4] == b"\xde\xad\xbe\xef"
+
+
+class TestArming:
+    def test_unset_env_means_no_injector(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        reset_injector()
+        assert get_injector() is None
+
+    def test_injector_cached_per_env_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", "worker-kill")
+        monkeypatch.delenv("REPRO_FAULTS_DIR", raising=False)
+        reset_injector()
+        first = get_injector()
+        assert first is get_injector()  # arrival counters persist
+        monkeypatch.setenv("REPRO_FAULTS", "worker-exc:n=2")
+        rearmed = get_injector()
+        assert rearmed is not first
+        assert SITE_WORKER_EXC in rearmed.plan.sites
+        reset_injector()
+
+    def test_reset_rearms_from_scratch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker-kill")
+        monkeypatch.delenv("REPRO_FAULTS_DIR", raising=False)
+        reset_injector()
+        first = get_injector()
+        reset_injector()
+        assert get_injector() is not first
+        reset_injector()

@@ -1,0 +1,73 @@
+"""Sweep-journal durability, idempotence, and torn-line tolerance."""
+
+import json
+
+from repro.resilience.journal import SweepJournal
+
+
+class TestRecord:
+    def test_record_appends_jsonl(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            assert journal.record("d1", {"workload": "kmeans"})
+            assert journal.record("d2")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"digest": "d1",
+                                        "spec": {"workload": "kmeans"}}
+        assert json.loads(lines[1]) == {"digest": "d2"}
+
+    def test_record_is_idempotent(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            assert journal.record("d1")
+            assert not journal.record("d1")
+            assert journal.recorded == 1
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_membership_and_len(self, tmp_path):
+        with SweepJournal(tmp_path / "j.jsonl") as journal:
+            journal.record("d1")
+            assert "d1" in journal and "d2" not in journal
+            assert len(journal) == 1
+            assert journal.completed() == frozenset({"d1"})
+
+
+class TestResume:
+    def test_reopen_resumes_completed_set(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("d1")
+            journal.record("d2")
+        resumed = SweepJournal(path)
+        assert resumed.resumed == 2 and resumed.recorded == 0
+        assert not resumed.record("d1")  # already journaled: no duplicate
+        assert resumed.record("d3")
+        resumed.close()
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        """A SIGKILL mid-append leaves a partial last line; the loader
+        must keep every complete record and drop only the torn tail."""
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("d1")
+            journal.record("d2")
+        with open(path, "a") as fh:
+            fh.write('{"digest": "d3"')  # no close brace, no newline
+        resumed = SweepJournal(path)
+        assert resumed.completed() == frozenset({"d1", "d2"})
+        # The torn digest replays and re-records cleanly.
+        assert resumed.record("d3")
+        resumed.close()
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        journal = SweepJournal(tmp_path / "absent.jsonl")
+        assert len(journal) == 0 and journal.resumed == 0
+        journal.close()
+
+    def test_record_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nest" / "j.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("d1")
+        assert path.exists()

@@ -1,0 +1,54 @@
+"""Retry-policy determinism and environment overrides."""
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+
+
+class TestBackoff:
+    def test_deterministic_for_same_seed(self):
+        a = RetryPolicy(seed=3).schedule()
+        b = RetryPolicy(seed=3).schedule()
+        assert a == b
+
+    def test_seed_moves_the_jitter(self):
+        schedules = {tuple(RetryPolicy(seed=s).schedule()) for s in range(16)}
+        assert len(schedules) > 1
+
+    def test_exponential_envelope_with_cap(self):
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.1,
+                             backoff_cap_s=0.4)
+        for attempt in range(1, 9):
+            delay = policy.backoff(attempt)
+            base = min(0.4, 0.1 * 2 ** (attempt - 1))
+            # Jitter stays in [0.5, 1.0]: never waits longer than the base.
+            assert 0.5 * base <= delay <= base
+
+    def test_attempt_zero_is_free(self):
+        assert RetryPolicy().backoff(0) == 0.0
+
+    def test_schedule_length_tracks_max_retries(self):
+        assert len(RetryPolicy(max_retries=5).schedule()) == 5
+
+
+class TestFromEnv:
+    def test_defaults_without_overrides(self):
+        assert RetryPolicy.from_env(env={}) == RetryPolicy()
+
+    def test_overrides(self):
+        policy = RetryPolicy.from_env(env={
+            "REPRO_MAX_RETRIES": "5",
+            "REPRO_TASK_TIMEOUT": "2.5",
+            "REPRO_BACKOFF_BASE": "0.2",
+            "REPRO_RETRY_SEED": "9",
+        })
+        assert policy.max_retries == 5
+        assert policy.timeout_s == 2.5
+        assert policy.backoff_base_s == 0.2
+        assert policy.seed == 9
+
+    def test_zero_timeout_means_wait_forever(self):
+        assert RetryPolicy.from_env(env={"REPRO_TASK_TIMEOUT": "0"}).timeout_s is None
+
+    def test_negative_retries_clamped(self):
+        assert RetryPolicy.from_env(env={"REPRO_MAX_RETRIES": "-3"}).max_retries == 0

@@ -1,0 +1,99 @@
+"""Durable writes and quarantine: crash-atomicity and never-delete."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.storage import (
+    MANIFEST_NAME,
+    durable_replace,
+    quarantine_dir,
+    quarantine_file,
+    read_quarantine_manifest,
+)
+
+
+class TestDurableReplace:
+    def test_text_write(self, tmp_path):
+        path = tmp_path / "a" / "entry.json"
+        durable_replace(path, '{"x": 1}')
+        assert json.loads(path.read_text()) == {"x": 1}
+
+    def test_binary_write(self, tmp_path):
+        path = tmp_path / "entry.bin"
+        durable_replace(path, b"\x00\x01\x02", binary=True)
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_writer_callable(self, tmp_path):
+        path = tmp_path / "entry.bin"
+        durable_replace(path, lambda fh: fh.write(b"streamed"), binary=True)
+        assert path.read_bytes() == b"streamed"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "entry.json"
+        durable_replace(path, "old")
+        durable_replace(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        durable_replace(tmp_path / "entry.json", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.json"]
+
+    def test_failed_writer_cleans_temp_and_keeps_old(self, tmp_path):
+        path = tmp_path / "entry.bin"
+        durable_replace(path, b"good", binary=True)
+
+        def exploding_writer(fh):
+            fh.write(b"partial")
+            raise RuntimeError("disk on fire")
+
+        with pytest.raises(RuntimeError):
+            durable_replace(path, exploding_writer, binary=True)
+        assert path.read_bytes() == b"good"
+        assert [p.name for p in tmp_path.iterdir()] == ["entry.bin"]
+
+
+class TestQuarantine:
+    def test_moves_blob_and_records_manifest(self, tmp_path):
+        root = tmp_path / "cache"
+        blob = root / "ab" / "abcd.json"
+        blob.parent.mkdir(parents=True)
+        blob.write_bytes(b"corrupt!")
+        target = quarantine_file(root, blob, "does not parse")
+        assert target == quarantine_dir(root) / "abcd.json"
+        assert target.read_bytes() == b"corrupt!"  # evidence preserved
+        assert not blob.exists()
+        entries = read_quarantine_manifest(root)
+        assert len(entries) == 1
+        assert entries[0]["file"] == "abcd.json"
+        assert entries[0]["reason"] == "does not parse"
+        assert entries[0]["from"] == str(blob)
+
+    def test_name_collisions_get_suffixes(self, tmp_path):
+        root = tmp_path / "cache"
+        for expected in ("abcd.json", "abcd.json.1", "abcd.json.2"):
+            blob = root / "ab" / "abcd.json"
+            blob.parent.mkdir(parents=True, exist_ok=True)
+            blob.write_bytes(b"bad")
+            target = quarantine_file(root, blob, "again")
+            assert target.name == expected
+        assert len(read_quarantine_manifest(root)) == 3
+
+    def test_missing_blob_returns_none(self, tmp_path):
+        assert quarantine_file(tmp_path, tmp_path / "absent.json", "?") is None
+
+    def test_manifest_tolerates_torn_final_line(self, tmp_path):
+        root = tmp_path / "cache"
+        blob = root / "ab" / "abcd.json"
+        blob.parent.mkdir(parents=True)
+        blob.write_bytes(b"bad")
+        quarantine_file(root, blob, "reason")
+        manifest = quarantine_dir(root) / MANIFEST_NAME
+        with open(manifest, "a") as fh:
+            fh.write('{"file": "torn')  # killed mid-append
+        entries = read_quarantine_manifest(root)
+        assert len(entries) == 1
+
+    def test_no_manifest_means_empty(self, tmp_path):
+        assert read_quarantine_manifest(tmp_path / "nowhere") == []
