@@ -38,8 +38,10 @@ from repro.api import (
     RetryPolicy,
     RunResult,
     RunSpec,
+    ServiceClient,
     SimulationError,
     SweepJournal,
+    SweepService,
     SystemConfig,
     TraceProfile,
     WORKLOADS,
@@ -51,6 +53,7 @@ from repro.api import (
     profile_streams,
     run,
     save_trace,
+    serve,
     simulate,
     sweep,
 )
@@ -60,7 +63,9 @@ from repro.common.wordrange import WordRange
 from repro.system.machine import build_protocol
 from repro.system._simulator import Simulator
 
-__version__ = "1.1.0"
+from repro._version import package_version
+
+__version__ = package_version()
 
 __all__ = [
     "CacheGeometry",
@@ -83,9 +88,11 @@ __all__ = [
     "RetryPolicy",
     "RunResult",
     "RunSpec",
+    "ServiceClient",
     "SimulationError",
     "Simulator",
     "SweepJournal",
+    "SweepService",
     "SystemConfig",
     "TraceProfile",
     "WORKLOADS",
@@ -99,6 +106,7 @@ __all__ = [
     "profile_streams",
     "run",
     "save_trace",
+    "serve",
     "simulate",
     "sweep",
     "__version__",

@@ -32,6 +32,10 @@ Layers
 * resilience — :class:`RetryPolicy` (engine retry/backoff/degradation),
   :class:`SweepJournal` (crash-resume), :class:`FaultPlan`
   (``REPRO_FAULTS`` chaos testing); see docs/resilience.md;
+* the sweep service — :func:`serve` runs the HTTP/JSON-RPC front end
+  with its durable job queue, :class:`ServiceClient` talks to one
+  (``client.sweep(specs)`` is the remote equivalent of :func:`sweep`);
+  see docs/service.md;
 * machinery — :func:`build_machine` for direct protocol-engine access
   (walkthroughs, tests, model checking).
 """
@@ -49,6 +53,7 @@ from repro.common.errors import (
     SimulationError,
 )
 from repro.common.params import (
+    PROTOCOL_NAMES,
     CacheGeometry,
     L1Organization,
     L2Config,
@@ -56,41 +61,19 @@ from repro.common.params import (
     PredictorKind,
     ProtocolKind,
     SystemConfig,
+    parse_protocol,
 )
 from repro.experiments._engine import ExperimentEngine, ResultCache, RunSpec
 from repro.obs import ObsConfig, Observability
 from repro.resilience import FaultPlan, RetryPolicy, SweepJournal
+from repro.service.app import SweepService, serve
+from repro.service.client import ServiceClient
 from repro.system.machine import build_protocol, simulate
 from repro.system.results import RunResult
 from repro.trace.analysis import TraceProfile, profile_streams
 from repro.trace.events import MemAccess
 from repro.trace.io import read_trace, write_trace
 from repro.trace.workloads import WORKLOADS, build_streams, get_workload
-
-#: Accepted spellings for each protocol, as used by the CLI's
-#: ``--protocol`` flag and by :func:`parse_protocol`.
-PROTOCOL_NAMES: Dict[str, ProtocolKind] = {
-    "mesi": ProtocolKind.MESI,
-    "sw": ProtocolKind.PROTOZOA_SW,
-    "sw+mr": ProtocolKind.PROTOZOA_SW_MR,
-    "swmr": ProtocolKind.PROTOZOA_SW_MR,
-    "mw": ProtocolKind.PROTOZOA_MW,
-}
-
-
-def parse_protocol(name: Union[str, ProtocolKind]) -> ProtocolKind:
-    """Resolve a protocol given by CLI short name, enum value, or enum."""
-    if isinstance(name, ProtocolKind):
-        return name
-    key = name.lower()
-    if key in PROTOCOL_NAMES:
-        return PROTOCOL_NAMES[key]
-    try:
-        return ProtocolKind(key)
-    except ValueError:
-        raise ConfigError(
-            f"unknown protocol {name!r} (choose from {sorted(PROTOCOL_NAMES)})"
-        )
 
 
 def build_machine(config: Optional[SystemConfig] = None,
@@ -136,6 +119,43 @@ def run(workload: str,
                     max_accesses=max_accesses, obs=obs)
 
 
+def _validate_specs(specs: Iterable[RunSpec]) -> list:
+    """Materialize and eagerly validate a sweep's spec collection.
+
+    The errors a grid-building script actually hits — passing one bare
+    :class:`RunSpec` where an iterable is expected, a stray non-spec
+    item, the same cell generated twice — surface here as one clear
+    :class:`ConfigError` instead of a ``TypeError`` (or a silently
+    collapsed duplicate) deep inside the engine.
+    """
+    if isinstance(specs, RunSpec):
+        raise ConfigError(
+            "sweep() expects an iterable of RunSpec but got a bare RunSpec "
+            "— wrap it in a list: sweep([spec])")
+    if isinstance(specs, (str, bytes, dict)):
+        raise ConfigError(
+            f"sweep() expects an iterable of RunSpec, "
+            f"not {type(specs).__name__}")
+    try:
+        items = list(specs)
+    except TypeError:
+        raise ConfigError(
+            f"sweep() expects an iterable of RunSpec, "
+            f"not {type(specs).__name__}")
+    first_seen: Dict[RunSpec, int] = {}
+    for index, item in enumerate(items):
+        if not isinstance(item, RunSpec):
+            raise ConfigError(
+                f"sweep() specs[{index}] is {type(item).__name__}, "
+                "not RunSpec")
+        if item in first_seen:
+            raise ConfigError(
+                f"sweep() specs[{index}] duplicates specs[{first_seen[item]}] "
+                f"({item.payload()}) — each grid cell must appear once")
+        first_seen[item] = index
+    return items
+
+
 def sweep(specs: Iterable[RunSpec],
           jobs: Optional[int] = None,
           engine: Optional[ExperimentEngine] = None) -> Dict[RunSpec, RunResult]:
@@ -146,11 +166,16 @@ def sweep(specs: Iterable[RunSpec],
     (``REPRO_CACHE_DIR``) and misses fan out across ``jobs`` worker
     processes.  Pass an existing ``engine`` to reuse its warm pool and
     metrics session across several sweeps.
+
+    ``specs`` is validated eagerly: a bare :class:`RunSpec`, a non-spec
+    item, or a duplicated cell raises :class:`ConfigError` before any
+    simulation starts.
     """
+    items = _validate_specs(specs)
     if engine is not None:
-        return engine.run_many(specs)
+        return engine.run_many(items)
     with ExperimentEngine(jobs=jobs) as owned:
-        return owned.run_many(specs)
+        return owned.run_many(items)
 
 
 def load_trace(path: Union[str, Path]):
@@ -207,4 +232,8 @@ __all__ = [
     "FaultPlan",
     "RetryPolicy",
     "SweepJournal",
+    # the sweep service (docs/service.md)
+    "ServiceClient",
+    "SweepService",
+    "serve",
 ]

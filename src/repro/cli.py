@@ -16,7 +16,13 @@ Commands
 ``chaos``     run a sweep under an injected fault plan (repro.resilience)
               and assert results stay bit-identical to a fault-free run
 ``doctor``    audit result/trace cache integrity (checksums, format
-              versions, orphaned temp files, quarantine inventory)
+              versions, orphaned temp files, quarantine inventory) and
+              optionally GC entries older than ``--prune-older-than``
+``serve``     run the multi-tenant sweep service: HTTP/JSON-RPC front
+              end + durable job queue over the engine (docs/service.md)
+``submit``    submit a sweep to a running service (optionally wait for
+              and save the result matrix)
+``jobs``      list/inspect/cancel jobs on a running service
 
 Every subcommand shares one option vocabulary (``--jobs``, ``--seed``,
 ``--protocol``, ``--trace-dir``) via a common parent parser, so flags
@@ -475,9 +481,115 @@ def cmd_doctor(args) -> int:
         result_root=Path(args.cache_dir) if args.cache_dir else None,
         trace_root=Path(args.trace_dir) if args.trace_dir else None,
         fix=args.fix,
+        prune_older_than_days=(args.prune_older_than
+                               if args.prune_older_than > 0 else None),
     )
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the sweep service until interrupted."""
+    from repro.service.app import serve
+
+    jobs = _apply_common(args)
+    return serve(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir or None,
+        jobs=jobs,
+        default_ttl_s=args.ttl if args.ttl > 0 else None,
+        quiet=not args.verbose,
+    )
+
+
+def _submit_specs(args) -> List[dict]:
+    """The workload x protocol grid of spec payloads a submit describes."""
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    protocols = [p.strip() for p in (args.protocol or "mesi,sw,sw+mr,mw")
+                 .split(",") if p.strip()]
+    specs = []
+    for workload in workloads:
+        for name in protocols:
+            spec = {
+                "workload": workload,
+                "protocol": _protocol(name).value,
+                "cores": args.cores,
+                "per_core": args.scale,
+                "seed": args.seed,
+            }
+            if args.block_bytes > 0:
+                spec["block_bytes"] = args.block_bytes
+            specs.append(spec)
+    return specs
+
+
+def cmd_submit(args) -> int:
+    """Submit a sweep to a running service; optionally wait for results."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    specs = _submit_specs(args)
+    submitted = client.submit_sweep(
+        specs, priority=args.priority,
+        ttl_s=args.ttl if args.ttl > 0 else None)
+    job_id = submitted["job_id"]
+    how = ("served from cache" if submitted["cached"]
+           else "deduplicated onto an in-flight job" if submitted["deduped"]
+           else "queued")
+    print(f"job {job_id}: {submitted['state']} "
+          f"({submitted['total']} specs, {how})")
+    if not args.wait and not submitted["cached"]:
+        return 0
+    status = client.wait(job_id, timeout_s=args.timeout, poll_s=args.poll)
+    print(f"job {job_id}: done — {status['completed']}/{status['total']} "
+          f"specs, {status['executed']} executed, "
+          f"{status['cache_hits']} cache hits")
+    if args.out:
+        payload = client.job_result(job_id)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        print(f"result matrix written to {args.out}")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """List, inspect, or cancel jobs on a running service."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.cancel:
+        record = client.cancel(args.cancel)
+        print(f"job {record['id']}: {record['state']}")
+        return 0
+    if args.result:
+        payload = client.job_result(args.result)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            print(f"result matrix written to {args.out}")
+        else:
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        return 0
+    if args.job:
+        print(json.dumps(client.job_status(args.job), indent=2,
+                         sort_keys=True))
+        return 0
+    jobs = client.list_jobs(state=args.state or None, limit=args.limit)
+    print(f"{'id':>16} {'state':>9} {'prio':>4} {'specs':>5} {'done':>5} "
+          f"{'hits':>5} {'exec':>5}")
+    for job in jobs:
+        print(f"{job['id']:>16} {job['state']:>9} {job['priority']:>4} "
+              f"{job['total']:>5} {job['completed']:>5} "
+              f"{job['cache_hits']:>5} {job['executed']:>5}")
+    if not jobs:
+        print("(no jobs)")
+    return 0
 
 
 def _add_journal_args(parser: argparse.ArgumentParser) -> None:
@@ -491,11 +603,15 @@ def _add_journal_args(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro._version import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Protozoa: adaptive granularity cache coherence (ISCA'13) "
                     "— reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list", help="list bundled workloads",
@@ -634,7 +750,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fix", action="store_true",
                    help="remove orphaned temp files and quarantine corrupt "
                         "entries (payloads are never deleted)")
+    p.add_argument("--prune-older-than", type=float, default=0.0,
+                   metavar="DAYS",
+                   help="garbage-collect result/trace cache entries whose "
+                        "last write is older than DAYS days (logged to the "
+                        "cache's GC manifest; quarantine is never touched)")
     p.set_defaults(fn=cmd_doctor)
+
+    p = sub.add_parser("serve",
+                       help="run the sweep service (HTTP/JSON-RPC + durable "
+                            "job queue over the experiment engine)",
+                       parents=[_common_parent()])
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8673,
+                   help="TCP port (0 picks an ephemeral port; default 8673)")
+    p.add_argument("--state-dir", default="",
+                   help="queue/journal/result state directory (default "
+                        "REPRO_SERVICE_DIR or <cache-dir>/service)")
+    p.add_argument("--ttl", type=float, default=0.0,
+                   help="default queued-job TTL in seconds "
+                        "(0: the built-in 24h)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a workload x protocol sweep to a "
+                            "running service",
+                       parents=[_common_parent()])
+    p.add_argument("--url", default="http://127.0.0.1:8673",
+                   help="service endpoint (default http://127.0.0.1:8673)")
+    p.add_argument("--workloads", required=True,
+                   help="comma-separated workload names")
+    p.add_argument("--cores", type=int, default=16)
+    p.add_argument("--scale", type=int, default=2000,
+                   help="accesses per core (default 2000)")
+    p.add_argument("--block-bytes", type=int, default=0,
+                   help="override the MESI block size (default: config)")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (higher dispatches first)")
+    p.add_argument("--ttl", type=float, default=0.0,
+                   help="job TTL in seconds (0: service default)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job completes")
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="--wait deadline in seconds (default 600)")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="--wait poll interval in seconds (default 0.2)")
+    p.add_argument("--out", default="",
+                   help="write the completed result matrix (JSON) here")
+    p.set_defaults(fn=cmd_submit,
+                   protocol="")  # empty: all four protocols
+
+    p = sub.add_parser("jobs",
+                       help="list, inspect, or cancel jobs on a running "
+                            "service",
+                       parents=[_common_parent()])
+    p.add_argument("--url", default="http://127.0.0.1:8673",
+                   help="service endpoint (default http://127.0.0.1:8673)")
+    p.add_argument("--state", default="",
+                   help="only jobs in this state (queued/running/done/"
+                        "failed/cancelled/expired)")
+    p.add_argument("--limit", type=int, default=0,
+                   help="show at most N jobs, newest first (default: all)")
+    p.add_argument("--job", default="", help="print one job's full status")
+    p.add_argument("--result", default="",
+                   help="print (or --out: save) one job's result matrix")
+    p.add_argument("--cancel", default="", help="cancel a queued job")
+    p.add_argument("--out", default="",
+                   help="write --result output here instead of stdout")
+    p.set_defaults(fn=cmd_jobs)
 
     p = sub.add_parser("events",
                        help="trace per-transaction coherence events and "

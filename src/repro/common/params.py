@@ -41,6 +41,35 @@ class ProtocolKind(enum.Enum):
         }[self]
 
 
+#: Accepted spellings for each protocol, as used by the CLI's
+#: ``--protocol`` flag and by :func:`parse_protocol`.  (Re-exported by
+#: :mod:`repro.api`; defined here so lower layers — notably the sweep
+#: service — can parse client-supplied names without importing the
+#: facade.)
+PROTOCOL_NAMES = {
+    "mesi": ProtocolKind.MESI,
+    "sw": ProtocolKind.PROTOZOA_SW,
+    "sw+mr": ProtocolKind.PROTOZOA_SW_MR,
+    "swmr": ProtocolKind.PROTOZOA_SW_MR,
+    "mw": ProtocolKind.PROTOZOA_MW,
+}
+
+
+def parse_protocol(name) -> ProtocolKind:
+    """Resolve a protocol given by CLI short name, enum value, or enum."""
+    if isinstance(name, ProtocolKind):
+        return name
+    key = str(name).lower()
+    if key in PROTOCOL_NAMES:
+        return PROTOCOL_NAMES[key]
+    try:
+        return ProtocolKind(key)
+    except ValueError:
+        raise ConfigError(
+            f"unknown protocol {name!r} (choose from {sorted(PROTOCOL_NAMES)})"
+        )
+
+
 class L1Organization(enum.Enum):
     """Variable-granularity L1 substrate (paper Section 3.1 alternatives)."""
 

@@ -16,14 +16,26 @@ Read-only by default; ``--fix`` deletes orphaned temp files and moves
 corrupt entries into quarantine (never plain deletion of a payload).
 The process exits nonzero when any check fails, which makes the command
 usable as a CI/cron health probe.
+
+``--prune-older-than DAYS`` adds garbage collection: cache entries whose
+last write is older than the cutoff are evicted so a long-running
+service's cache directory stays bounded.  Every eviction is logged to
+the cache's ``GC_MANIFEST.jsonl`` (path, mtime, age) *before* the
+unlink, so the history of what GC removed survives; the ``quarantine/``
+directory is never pruned — quarantined blobs are evidence, and only a
+human deletes evidence.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional
+
+GC_MANIFEST_NAME = "GC_MANIFEST.jsonl"
 
 from repro.resilience.log import warn as resilience_warn
 from repro.resilience.storage import (
@@ -215,16 +227,109 @@ def check_trace_cache(root: Path, fix: bool = False) -> List[CheckResult]:
             _check_quarantine(root, label)]
 
 
+def _gc_log(root: Path, entry: dict) -> None:
+    """Durably append one eviction record to the cache's GC manifest."""
+    manifest = root / GC_MANIFEST_NAME
+    manifest.parent.mkdir(parents=True, exist_ok=True)
+    with open(manifest, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def read_gc_manifest(root: Path) -> List[dict]:
+    """Parsed GC manifest entries (tolerating a torn final line)."""
+    entries: List[dict] = []
+    try:
+        with open(Path(root) / GC_MANIFEST_NAME, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+    except OSError:
+        pass
+    return entries
+
+
+def prune_cache(root: Path, suffix: str, older_than_days: float,
+                label: str, now: Optional[float] = None) -> CheckResult:
+    """Evict cache entries whose last write predates the cutoff.
+
+    Only payload files in the fan-out directories are candidates —
+    ``quarantine/`` is never touched, and each eviction is manifest-
+    logged before the unlink.  Emptied fan-out directories are removed
+    (best-effort) so a pruned cache does not accumulate husks.
+    """
+    check = CheckResult(
+        f"{label}: GC (older than {older_than_days:g} day(s))")
+    now = time.time() if now is None else now
+    cutoff = now - older_than_days * 86400.0
+    root = Path(root)
+    if not root.is_dir():
+        check.note("directory absent (nothing to prune)")
+        return check
+    pruned = kept = 0
+    freed = 0
+    for path in _payload_files(root, suffix):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # a concurrent writer/GC got there first
+        if stat.st_mtime >= cutoff:
+            kept += 1
+            continue
+        entry = {
+            "file": str(path.relative_to(root)),
+            "bytes": stat.st_size,
+            "mtime": stat.st_mtime,
+            "age_days": round((now - stat.st_mtime) / 86400.0, 3),
+            "pruned_at": now,
+            "pid": os.getpid(),
+        }
+        _gc_log(root, entry)
+        try:
+            path.unlink()
+        except OSError as exc:
+            check.fail(f"could not evict {path.name}: {exc}")
+            continue
+        pruned += 1
+        freed += stat.st_size
+        try:
+            path.parent.rmdir()  # only succeeds once the fan-out dir empties
+        except OSError:
+            pass
+    check.note(f"{pruned} entr(ies) evicted ({freed} B freed), {kept} kept")
+    if pruned:
+        check.note(f"evictions logged to {root / GC_MANIFEST_NAME}")
+    return check
+
+
 def run_doctor(result_root: Optional[Path] = None,
                trace_root: Optional[Path] = None,
-               fix: bool = False) -> DoctorReport:
-    """Audit both caches; defaults to the live environment-derived roots."""
+               fix: bool = False,
+               prune_older_than_days: Optional[float] = None) -> DoctorReport:
+    """Audit both caches; defaults to the live environment-derived roots.
+
+    With ``prune_older_than_days`` set, garbage-collect entries older
+    than the cutoff first (manifest-logged), then audit what remains.
+    """
     from repro.experiments._engine import default_cache_dir
     from repro.trace._cache import trace_cache_dir
 
     result_root = Path(result_root) if result_root else default_cache_dir()
     trace_root = Path(trace_root) if trace_root else trace_cache_dir()
     report = DoctorReport()
+    if prune_older_than_days is not None:
+        report.checks.append(prune_cache(
+            result_root, ".json", prune_older_than_days,
+            f"result cache {result_root}"))
+        report.checks.append(prune_cache(
+            trace_root, ".bin", prune_older_than_days,
+            f"trace cache {trace_root}"))
     # The default trace cache nests under the result cache root; keep its
     # files out of the result-cache orphan scan so nothing double-reports.
     report.checks.extend(check_result_cache(result_root, fix=fix,

@@ -1,0 +1,202 @@
+"""JSON-RPC 2.0 over HTTP: the sweep service's wire protocol.
+
+One endpoint (``POST /``) accepts JSON-RPC request objects::
+
+    {"jsonrpc": "2.0", "id": 1, "method": "submit_sweep",
+     "params": {"specs": [{"workload": "kmeans", "protocol": "mesi"}]}}
+
+and answers ``{"jsonrpc": "2.0", "id": 1, "result": ...}`` or an error
+object with the standard codes (parse error -32700, unknown method
+-32601, invalid params -32602) plus two service codes: ``-32001`` job
+not found, ``-32002`` invalid state transition (e.g. cancelling a
+running job).  For operator convenience ``GET /health`` and
+``GET /metrics`` return the same payloads as the corresponding RPC
+methods, so a bare ``curl`` works as a liveness probe.
+
+The server is the stdlib :class:`http.server.ThreadingHTTPServer` —
+one thread per connection, no third-party dependency — and every
+handler routes through the :data:`METHODS` registry, a plain name ->
+``f(service, params) -> result`` table.  Registering a method is one
+decorator; the registry is what ``repro.service.client`` mirrors.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ReproError
+
+# JSON-RPC 2.0 standard codes
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+# service codes
+NOT_FOUND = -32001
+INVALID_STATE = -32002
+
+
+class ServiceError(ReproError):
+    """An RPC-visible failure, carrying its JSON-RPC error code."""
+
+    def __init__(self, message: str, code: int = INTERNAL_ERROR):
+        super().__init__(message)
+        self.code = code
+
+
+#: The method registry: name -> handler(service, params) -> JSON result.
+METHODS: Dict[str, Callable] = {}
+
+
+def rpc_method(name: str):
+    """Register a handler under ``name`` in the method registry."""
+    def register(fn: Callable) -> Callable:
+        METHODS[name] = fn
+        return fn
+    return register
+
+
+def _require(params: Dict, key: str):
+    if key not in params:
+        raise ServiceError(f"missing required param {key!r}", INVALID_PARAMS)
+    return params[key]
+
+
+@rpc_method("submit_sweep")
+def _submit_sweep(service, params: Dict) -> Dict:
+    return service.submit(
+        _require(params, "specs"),
+        priority=params.get("priority", 0),
+        ttl_s=params.get("ttl_s"),
+    )
+
+
+@rpc_method("job_status")
+def _job_status(service, params: Dict) -> Dict:
+    return service.job_status(_require(params, "job_id"))
+
+
+@rpc_method("job_result")
+def _job_result(service, params: Dict) -> Dict:
+    return service.job_result(_require(params, "job_id"))
+
+
+@rpc_method("cancel")
+def _cancel(service, params: Dict) -> Dict:
+    return service.cancel(_require(params, "job_id"))
+
+
+@rpc_method("list_jobs")
+def _list_jobs(service, params: Dict) -> Dict:
+    return service.list_jobs(state=params.get("state"),
+                             limit=params.get("limit", 0))
+
+
+@rpc_method("health")
+def _health(service, params: Dict) -> Dict:
+    return service.health()
+
+
+@rpc_method("metrics")
+def _metrics(service, params: Dict) -> Dict:
+    return service.metrics_dump()
+
+
+def dispatch(service, request: Dict) -> Dict:
+    """Execute one parsed JSON-RPC request object; returns the response."""
+    request_id = request.get("id")
+    response = {"jsonrpc": "2.0", "id": request_id}
+    method = request.get("method")
+    params = request.get("params", {})
+    if not isinstance(method, str):
+        response["error"] = {"code": INVALID_REQUEST,
+                             "message": "request needs a string 'method'"}
+        return response
+    if not isinstance(params, dict):
+        response["error"] = {"code": INVALID_PARAMS,
+                             "message": "'params' must be an object"}
+        return response
+    handler = METHODS.get(method)
+    if handler is None:
+        response["error"] = {"code": METHOD_NOT_FOUND,
+                             "message": f"unknown method {method!r} "
+                                        f"(have {sorted(METHODS)})"}
+        return response
+    try:
+        response["result"] = handler(service, params)
+    except ServiceError as exc:
+        response["error"] = {"code": exc.code, "message": str(exc)}
+    except Exception as exc:  # noqa: BLE001 — a handler bug must come
+        # back as a structured error, not a dropped connection.
+        response["error"] = {"code": INTERNAL_ERROR,
+                             "message": f"{type(exc).__name__}: {exc}"}
+    return response
+
+
+class RpcHandler(BaseHTTPRequestHandler):
+    """One JSON-RPC request per POST; GET /health and /metrics mirrors."""
+
+    server_version = "repro-service"
+    protocol_version = "HTTP/1.1"
+    #: set by make_server
+    service = None
+    quiet = True
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server naming
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            request = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json({"jsonrpc": "2.0", "id": None,
+                             "error": {"code": PARSE_ERROR,
+                                       "message": "body is not valid JSON"}})
+            return
+        if not isinstance(request, dict):
+            self._send_json({"jsonrpc": "2.0", "id": None,
+                             "error": {"code": INVALID_REQUEST,
+                                       "message": "batch requests are not "
+                                                  "supported"}})
+            return
+        self._send_json(dispatch(self.service, request))
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        name = self.path.rstrip("/").lstrip("/") or "health"
+        if name not in ("health", "metrics"):
+            self._send_json({"error": {"code": NOT_FOUND,
+                                       "message": f"no such page /{name}"}},
+                            status=404)
+            return
+        self._send_json(dispatch(self.service,
+                                 {"jsonrpc": "2.0", "id": None,
+                                  "method": name}).get("result", {}))
+
+    def log_message(self, fmt: str, *args) -> None:
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+
+def make_server(service, host: str = "127.0.0.1", port: int = 0,
+                quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-run HTTP server bound to ``host:port`` (0: ephemeral).
+
+    The caller owns the lifecycle: ``serve_forever()`` to run,
+    ``shutdown()`` + ``server_close()`` to stop.  The bound port is
+    ``server.server_address[1]``.
+    """
+    handler = type("BoundRpcHandler", (RpcHandler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

@@ -118,3 +118,42 @@ class TestDeprecationShims:
             warnings.simplefilter("ignore", DeprecationWarning)
             from repro.experiments.engine import RunSpec as old_spec
         assert old_spec is api.RunSpec is repro.RunSpec
+
+
+class TestSweepValidation:
+    """sweep() rejects malformed spec collections before any simulation."""
+
+    def spec(self, seed=0):
+        return api.RunSpec(workload="histogram", protocol=ProtocolKind.MESI,
+                           cores=2, per_core=60, seed=seed)
+
+    def test_bare_runspec_rejected_with_guidance(self):
+        with pytest.raises(api.ConfigError, match=r"sweep\(\[spec\]\)"):
+            api.sweep(self.spec())
+
+    @pytest.mark.parametrize("bad", ["histogram", b"histogram", {"a": 1}])
+    def test_wrong_container_types_rejected(self, bad):
+        with pytest.raises(api.ConfigError, match="iterable of RunSpec"):
+            api.sweep(bad)
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(api.ConfigError, match="iterable of RunSpec"):
+            api.sweep(42)
+
+    def test_non_spec_item_named_by_index(self):
+        with pytest.raises(api.ConfigError, match=r"specs\[1\] is str"):
+            api.sweep([self.spec(), "mesi"])
+
+    def test_duplicate_cells_named_by_both_indices(self):
+        with pytest.raises(api.ConfigError,
+                           match=r"specs\[2\] duplicates specs\[0\]"):
+            api.sweep([self.spec(0), self.spec(1), self.spec(0)])
+
+    def test_generator_input_still_works(self):
+        results = api.sweep(self.spec(seed) for seed in (0, 1))
+        assert len(results) == 2
+
+    def test_service_surface_exported(self):
+        assert api.ServiceClient is repro.ServiceClient
+        assert api.SweepService is repro.SweepService
+        assert callable(api.serve)

@@ -290,3 +290,83 @@ class TestCommonFlags:
         import os
         assert os.environ["REPRO_TRACE_CACHE_DIR"] == str(target)
         assert any(target.iterdir())  # the packed trace landed there
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro._version import package_version
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
+    def test_dunder_version_matches(self):
+        import repro
+        from repro._version import package_version
+
+        assert repro.__version__ == package_version()
+
+
+class TestServiceCommands:
+    def test_parser_accepts_service_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--ttl", "60"])
+        assert args.port == 0
+        args = parser.parse_args(["submit", "--workloads", "histogram",
+                                  "--protocol", "mesi,mw", "--wait"])
+        assert args.workloads == "histogram"
+        args = parser.parse_args(["jobs", "--state", "done", "--limit", "5"])
+        assert args.limit == 5
+        args = parser.parse_args(["doctor", "--prune-older-than", "30"])
+        assert args.prune_older_than == 30.0
+
+    def test_submit_builds_the_full_protocol_grid_by_default(self):
+        from repro.cli import _submit_specs
+
+        args = build_parser().parse_args(
+            ["submit", "--workloads", "histogram,kmeans", "--cores", "2"])
+        specs = _submit_specs(args)
+        assert len(specs) == 8  # 2 workloads x 4 protocols
+        assert {s["protocol"] for s in specs} == {"mesi", "protozoa-sw",
+                                                 "protozoa-sw+mr",
+                                                 "protozoa-mw"}
+
+    def test_submit_and_jobs_against_a_live_service(self, tmp_path, capsys):
+        import threading
+
+        from repro.experiments._engine import ExperimentEngine, ResultCache
+        from repro.service.app import SweepService
+        from repro.service.rpc import make_server
+
+        engine = ExperimentEngine(
+            jobs=1, cache=ResultCache(tmp_path / "cache", enabled=True))
+        service = SweepService(state_dir=tmp_path / "state", engine=engine,
+                               idle_poll_s=0.05).start()
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            out_path = tmp_path / "matrix.json"
+            assert main(["submit", "--url", url, "--workloads", "histogram",
+                         "--cores", "2", "--scale", "80",
+                         "--protocol", "mesi,mw", "--wait",
+                         "--out", str(out_path)]) == 0
+            out = capsys.readouterr().out
+            assert "2 specs, queued" in out
+            assert "done" in out
+            assert out_path.exists()
+
+            # The same submission again is answered from cache.
+            assert main(["submit", "--url", url, "--workloads", "histogram",
+                         "--cores", "2", "--scale", "80",
+                         "--protocol", "mesi,mw"]) == 0
+            assert "served from cache" in capsys.readouterr().out
+
+            assert main(["jobs", "--url", url]) == 0
+            assert "done" in capsys.readouterr().out
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()

@@ -133,3 +133,83 @@ class TestRunDoctor:
         report = run_doctor(result_root, nested_traces)
         failing = [check.name for check in report.checks if not check.ok]
         assert failing == [f"trace cache {nested_traces}: orphaned temp files"]
+
+
+class TestPrune:
+    """--prune-older-than: manifest-logged GC that never touches quarantine."""
+
+    def _age(self, path, days):
+        import os
+        import time
+
+        old = time.time() - days * 86400
+        os.utime(path, (old, old))
+
+    def test_old_entry_evicted_and_manifest_logged(self, result_root):
+        from repro.resilience.doctor import prune_cache, read_gc_manifest
+
+        blob = next(result_root.glob("??/*.json"))
+        self._age(blob, days=10)
+        check = prune_cache(result_root, ".json", 7.0, "result cache")
+        assert check.ok
+        assert not blob.exists()
+        (entry,) = read_gc_manifest(result_root)
+        assert entry["file"] == f"{blob.parent.name}/{blob.name}"
+        assert entry["age_days"] > 7
+        # The emptied fan-out directory is gone too.
+        assert not blob.parent.exists()
+
+    def test_fresh_entry_kept(self, result_root):
+        from repro.resilience.doctor import prune_cache, read_gc_manifest
+
+        blob = next(result_root.glob("??/*.json"))
+        check = prune_cache(result_root, ".json", 7.0, "result cache")
+        assert check.ok
+        assert blob.exists()
+        assert read_gc_manifest(result_root) == []
+
+    def test_quarantine_never_pruned(self, result_root):
+        from repro.resilience.doctor import prune_cache
+        from repro.resilience.storage import quarantine_file
+
+        blob = next(result_root.glob("??/*.json"))
+        blob.write_bytes(b"junk")
+        quarantined = quarantine_file(result_root, blob, "test damage")
+        self._age(quarantined, days=100)
+        prune_cache(result_root, ".json", 7.0, "result cache")
+        assert quarantined.exists()
+
+    def test_absent_cache_is_fine(self, tmp_path):
+        from repro.resilience.doctor import prune_cache
+
+        check = prune_cache(tmp_path / "nowhere", ".json", 7.0, "result cache")
+        assert check.ok
+
+    def test_run_doctor_prunes_then_audits_clean(self, result_root,
+                                                 trace_root):
+        blob = next(result_root.glob("??/*.json"))
+        self._age(blob, days=30)
+        report = run_doctor(result_root, trace_root,
+                            prune_older_than_days=7.0)
+        assert report.ok
+        assert not blob.exists()
+        rendered = report.render()
+        assert "GC (older than 7 day(s))" in rendered
+        assert "1 entr(ies) evicted" in rendered
+
+    def test_run_doctor_without_flag_never_prunes(self, result_root,
+                                                  trace_root):
+        blob = next(result_root.glob("??/*.json"))
+        self._age(blob, days=3650)
+        report = run_doctor(result_root, trace_root)
+        assert report.ok
+        assert blob.exists()
+        assert "GC" not in report.render()
+
+    def test_gc_manifest_never_audited_as_orphan(self, result_root):
+        from repro.resilience.doctor import prune_cache
+
+        blob = next(result_root.glob("??/*.json"))
+        self._age(blob, days=10)
+        prune_cache(result_root, ".json", 7.0, "result cache")
+        assert verdict(check_result_cache(result_root))

@@ -1,0 +1,78 @@
+"""Job model: content-addressed identity, TTL, and journal round-trips."""
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments._engine import RunSpec
+from repro.service.jobs import DEFAULT_TTL_S, Job, JobState, job_key
+
+SPEC_A = RunSpec(workload="histogram", protocol=ProtocolKind.MESI,
+                 cores=2, per_core=60, seed=0)
+SPEC_B = RunSpec(workload="histogram", protocol=ProtocolKind.PROTOZOA_MW,
+                 cores=2, per_core=60, seed=0)
+SPEC_C = RunSpec(workload="kmeans", protocol=ProtocolKind.MESI,
+                 cores=2, per_core=60, seed=7)
+
+
+class TestJobKey:
+    def test_order_insensitive(self):
+        assert job_key([SPEC_A, SPEC_B]) == job_key([SPEC_B, SPEC_A])
+
+    def test_distinct_spec_sets_distinct_keys(self):
+        assert job_key([SPEC_A]) != job_key([SPEC_B])
+        assert job_key([SPEC_A]) != job_key([SPEC_A, SPEC_B])
+
+    def test_key_is_hex_sha256(self):
+        key = job_key([SPEC_A])
+        assert len(key) == 64
+        int(key, 16)  # must be hex
+
+    def test_id_is_key_prefix(self):
+        job = Job(key=job_key([SPEC_A]), specs=[SPEC_A])
+        assert job.id == job.key[:16]
+        assert job.total == 1
+
+
+class TestTtl:
+    def test_queued_job_expires_past_ttl(self):
+        job = Job(key="k", specs=[SPEC_A], ttl_s=10.0, submitted_at=100.0)
+        assert not job.expired(now=105.0)
+        assert job.expired(now=111.0)
+
+    def test_nonpositive_ttl_never_expires(self):
+        job = Job(key="k", specs=[SPEC_A], ttl_s=0.0, submitted_at=0.0)
+        assert not job.expired(now=1e12)
+
+    @pytest.mark.parametrize("state", [JobState.RUNNING, JobState.DONE,
+                                       JobState.FAILED, JobState.CANCELLED])
+    def test_only_queued_jobs_expire(self, state):
+        job = Job(key="k", specs=[SPEC_A], ttl_s=1.0, submitted_at=0.0,
+                  state=state)
+        assert not job.expired(now=1e9)
+
+
+class TestWireForm:
+    def test_round_trip(self):
+        job = Job(key=job_key([SPEC_A, SPEC_C]), specs=[SPEC_A, SPEC_C],
+                  priority=3, ttl_s=60.0, seq=5, state=JobState.RUNNING,
+                  submitted_at=1.0, started_at=2.0, completed=1,
+                  cache_hits=1, executed=0, requeues=2)
+        back = Job.from_dict(job.to_dict())
+        assert back == job
+        assert back.specs == [SPEC_A, SPEC_C]  # submission order preserved
+        assert back.state is JobState.RUNNING
+
+    def test_unknown_keys_ignored_missing_get_defaults(self):
+        data = {"key": "deadbeef" * 8, "specs": [SPEC_A.payload()],
+                "some_future_field": 42}
+        job = Job.from_dict(data)
+        assert job.state is JobState.QUEUED
+        assert job.ttl_s == DEFAULT_TTL_S
+        assert job.priority == 0
+        assert job.requeues == 0
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        job = Job(key=job_key([SPEC_A]), specs=[SPEC_A])
+        json.dumps(job.to_dict())  # must not raise

@@ -1,0 +1,185 @@
+"""JobQueue: durability, dedup, priority ordering, TTL, cancellation."""
+
+import json
+
+import pytest
+
+from repro.common.params import ProtocolKind
+from repro.experiments._engine import RunSpec
+from repro.service.jobs import JobState, job_key
+from repro.service.queue import QUEUE_JOURNAL_NAME, JobQueue
+
+
+def spec(workload="histogram", protocol=ProtocolKind.MESI, seed=0):
+    return RunSpec(workload=workload, protocol=protocol,
+                   cores=2, per_core=60, seed=seed)
+
+
+SPECS = [spec(), spec(protocol=ProtocolKind.PROTOZOA_MW)]
+
+
+class TestSubmit:
+    def test_submit_queues_and_journals(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, deduped = queue.submit(SPECS)
+            assert not deduped
+            assert job.state is JobState.QUEUED
+            assert job.key == job_key(SPECS)
+        lines = (tmp_path / QUEUE_JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["event"] == "submit"
+        assert entry["job"]["key"] == job.key
+
+    def test_same_specs_dedup_in_any_order(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            first, _ = queue.submit(SPECS)
+            second, deduped = queue.submit(list(reversed(SPECS)))
+            assert deduped
+            assert second is first
+            assert first.waiters == 2
+            assert len(queue) == 1
+
+    def test_done_job_dedups_too(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.pop_next()
+            queue.finish(job, JobState.DONE)
+            again, deduped = queue.submit(SPECS)
+            assert deduped and again is job
+
+    def test_terminal_failure_states_resubmit_fresh(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.cancel(job.id)
+            fresh, deduped = queue.submit(SPECS)
+            assert not deduped
+            assert fresh.state is JobState.QUEUED
+            assert fresh.seq > job.seq
+
+
+class TestDispatchOrder:
+    def test_priority_then_fifo(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            low, _ = queue.submit([spec(seed=1)], priority=0)
+            high, _ = queue.submit([spec(seed=2)], priority=5)
+            low2, _ = queue.submit([spec(seed=3)], priority=0)
+            assert queue.pop_next() is high
+            assert queue.pop_next() is low
+            assert queue.pop_next() is low2
+            assert queue.pop_next() is None
+
+    def test_pop_marks_running(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            queue.submit(SPECS)
+            job = queue.pop_next(now=42.0)
+            assert job.state is JobState.RUNNING
+            assert job.started_at == 42.0
+
+
+class TestCancel:
+    def test_cancel_queued(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            cancelled = queue.cancel(job.id)
+            assert cancelled.state is JobState.CANCELLED
+
+    def test_cancel_running_refused(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.pop_next()
+            with pytest.raises(ValueError, match="running"):
+                queue.cancel(job.id)
+
+    def test_cancel_unknown_returns_none(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            assert queue.cancel("no-such-job") is None
+
+
+class TestTtl:
+    def test_queued_job_expires_instead_of_dispatching(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS, ttl_s=10.0, now=100.0)
+            assert queue.pop_next(now=200.0) is None
+            assert job.state is JobState.EXPIRED
+
+    def test_default_ttl_applies(self, tmp_path):
+        with JobQueue(tmp_path, default_ttl_s=5.0) as queue:
+            job, _ = queue.submit(SPECS, now=0.0)
+            assert job.ttl_s == 5.0
+
+
+class TestDurability:
+    def test_replay_restores_jobs(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS, priority=2)
+        with JobQueue(tmp_path) as queue:
+            assert queue.replayed == 1
+            back = queue.get(job.id)
+            assert back is not None
+            assert back.specs == SPECS
+            assert back.priority == 2
+            assert back.state is JobState.QUEUED
+
+    def test_running_job_requeues_on_replay(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.pop_next()
+            assert job.state is JobState.RUNNING
+        # A new process over the same journal: in-flight work re-queues.
+        with JobQueue(tmp_path) as queue:
+            assert queue.requeued == 1
+            back = queue.get(job.id)
+            assert back.state is JobState.QUEUED
+            assert back.started_at is None
+            assert back.requeues == 1
+
+    def test_terminal_states_survive_replay(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.pop_next()
+            job.completed = job.executed = len(SPECS)
+            queue.finish(job, JobState.DONE)
+        with JobQueue(tmp_path) as queue:
+            back = queue.get(job.id)
+            assert back.state is JobState.DONE
+            assert back.completed == len(SPECS)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+        path = tmp_path / QUEUE_JOURNAL_NAME
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "state", "key"')  # killed mid-write
+        with JobQueue(tmp_path) as queue:
+            assert queue.get(job.id).state is JobState.QUEUED
+
+    def test_load_compacts_to_one_line_per_job(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            job, _ = queue.submit(SPECS)
+            queue.pop_next()
+            queue.finish(job, JobState.DONE)
+            queue.submit([spec(seed=9)])
+        # Journal now holds 3+ events for 2 jobs; loading compacts it.
+        with JobQueue(tmp_path):
+            pass
+        lines = (tmp_path / QUEUE_JOURNAL_NAME).read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["event"] == "submit" for line in lines)
+
+    def test_empty_dir_is_fine(self, tmp_path):
+        with JobQueue(tmp_path / "nowhere") as queue:
+            assert len(queue) == 0
+            assert queue.pop_next() is None
+
+
+class TestListing:
+    def test_jobs_newest_first_with_state_filter(self, tmp_path):
+        with JobQueue(tmp_path) as queue:
+            first, _ = queue.submit([spec(seed=1)])
+            second, _ = queue.submit([spec(seed=2)])
+            queue.pop_next()  # claims first (FIFO)
+            assert queue.jobs() == [second, first]
+            assert queue.jobs(state=JobState.QUEUED) == [second]
+            assert queue.jobs(limit=1) == [second]
+            assert queue.counts() == {"queued": 1, "running": 1}
