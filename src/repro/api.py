@@ -103,20 +103,28 @@ def run(workload: str,
         seed: int = 0,
         block_bytes: Optional[int] = None,
         obs: Union[None, bool, ObsConfig, Observability] = None,
-        max_accesses: Optional[int] = None) -> RunResult:
+        max_accesses: Optional[int] = None,
+        batch: Optional[bool] = None) -> RunResult:
     """Simulate one bundled workload under one protocol.
 
     The one-call entry point: builds the synthetic trace, the machine,
     and runs it.  ``obs=True`` (or an :class:`ObsConfig`) attaches an
     observability session whose event trace / metrics / phase timers
-    land on the returned :class:`RunResult`.
+    land on the returned :class:`RunResult`.  ``batch`` selects the
+    batched packed-trace issue loop (:mod:`repro.system.batch`):
+    ``None`` consults ``REPRO_BATCH`` (default on), ``False`` forces the
+    scalar loop, ``True`` forces batching where eligible — counters are
+    bit-identical either way.
     """
+    from repro.trace.packed import PackedTrace
+
     spec = RunSpec(workload=workload, protocol=parse_protocol(protocol),
                    block_bytes=block_bytes, cores=cores,
                    per_core=per_core, seed=seed)
-    streams = build_streams(workload, cores=cores, per_core=per_core, seed=seed)
+    streams = PackedTrace.from_streams(
+        build_streams(workload, cores=cores, per_core=per_core, seed=seed))
     return simulate(streams, spec.config(), name=workload,
-                    max_accesses=max_accesses, obs=obs)
+                    max_accesses=max_accesses, obs=obs, batch=batch)
 
 
 def _validate_specs(specs: Iterable[RunSpec]) -> list:

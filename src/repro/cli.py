@@ -91,6 +91,11 @@ def _common_parent() -> argparse.ArgumentParser:
     parent.add_argument("--trace-dir", default="",
                         help="packed trace cache directory "
                              "(overrides REPRO_TRACE_CACHE_DIR)")
+    parent.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="batched packed-trace execution (--no-batch "
+                             "forces the scalar issue loop; default: "
+                             "$REPRO_BATCH, on when unset)")
     return parent
 
 
@@ -104,6 +109,11 @@ def _apply_common(args) -> Optional[int]:
     """
     if getattr(args, "trace_dir", ""):
         os.environ["REPRO_TRACE_CACHE_DIR"] = args.trace_dir
+    batch = getattr(args, "batch", None)
+    if batch is not None:
+        # Exported rather than threaded through call signatures so the
+        # choice reaches every engine and forked pool worker identically.
+        os.environ["REPRO_BATCH"] = "1" if batch else "0"
     jobs = getattr(args, "jobs", 0)
     if jobs and jobs > 0:
         os.environ["REPRO_JOBS"] = str(jobs)
@@ -283,6 +293,15 @@ def cmd_bench(args) -> int:
         if obs.get("counters_identical") is False:
             print("FAIL: enabling observability changed simulation "
                   "counters (tracing must be side-effect free)")
+            return 1
+    if args.assert_batch_identical:
+        batch = report.get("batch", {})
+        identical = batch.get("identical", {})
+        wrong = sorted(name for name, ok in identical.items() if not ok)
+        if not identical or wrong:
+            print("FAIL: batched execution diverged from scalar for "
+                  f"{', '.join(wrong) if wrong else 'every protocol'} "
+                  "(counters must be bit-identical)")
             return 1
     return 0
 
@@ -655,6 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-parallel-speedup", type=float, default=1.0,
                    help="parallel-vs-serial cold sweep speedup --assert-warm "
                         "requires when jobs > 1 (default 1.0)")
+    p.add_argument("--assert-batch-identical", action="store_true",
+                   help="exit nonzero unless batched and scalar execution "
+                        "produced bit-identical counters for every protocol")
     p.add_argument("--record-baseline", action="store_true",
                    help="re-record benchmarks/baseline_protozoa.json from this "
                         "machine's microbenchmark")

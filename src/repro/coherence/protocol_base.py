@@ -89,6 +89,12 @@ class CoherenceProtocol:
         # path never chases two attributes.
         self._obs = None
         self._obs_events = None
+        # Batch execution (repro.system.batch): called as
+        # (core, region, victim_or_None) before this engine reads the
+        # dirty/touched masks of blocks the batch runner may still hold
+        # deferred hit bits for — evictions and L2 recalls reach regions
+        # the runner did not synchronize around the current scalar call.
+        self.batch_hook = None
 
     def attach_obs(self, obs) -> None:
         """Wire an :class:`repro.obs.Observability` session into this engine.
@@ -217,6 +223,52 @@ class CoherenceProtocol:
         if obs_events is not None:
             obs_events.end(latency, hit=False)
         return latency
+
+    # -- batch-execution hooks (repro.system.batch) ---------------------
+
+    def coverage_masks(self, core: int, region: int) -> Tuple[int, int]:
+        """(covered_r, covered_w) of one (core, region) — the hit test's
+        inputs, exactly as :meth:`_access` computes them."""
+        covered_r = 0
+        covered_w = 0
+        for block in self.l1s[core].blocks_of(region):
+            state = block.state
+            if state is LineState.S:
+                covered_r |= block.range.mask
+            elif state is LineState.M or state is LineState.E:
+                bmask = block.range.mask
+                covered_r |= bmask
+                covered_w |= bmask
+        return covered_r, covered_w
+
+    def apply_deferred_hits(self, core: int, region: int, amask: int,
+                            wmask: int, extra: Optional[Block] = None) -> int:
+        """Land deferred hit bits on (core, region)'s blocks.
+
+        Replays what :meth:`_do_read`/:meth:`_do_write` would have done for
+        a union of hits: OR ``amask`` into touched masks, ``wmask`` into
+        dirty masks, silent E->M on every block receiving a written word.
+        ``extra`` is a block already pulled out of the cache (an eviction
+        victim) that must still receive its share.  Returns the union of
+        the covered words so the caller can keep any residue pending (a
+        multi-block eviction surfaces victims one at a time).
+        """
+        blocks = self.l1s[core].blocks_of(region)
+        if extra is not None:
+            blocks.append(extra)
+        landed = 0
+        for block in blocks:
+            bmask = block.range.mask
+            landed |= bmask
+            touched = amask & bmask
+            if touched:
+                block.touched_mask |= touched
+            written = wmask & bmask
+            if written:
+                block.dirty_mask |= written
+                if block.state is LineState.E:
+                    block.state = LineState.M
+        return landed
 
     def _miss(self, core: int, is_write: bool, region: int, rng: WordRange,
               pc: int, covered_readable: int) -> int:
@@ -537,6 +589,10 @@ class CoherenceProtocol:
         to cache the region again, so the writeback must not be LAST (the
         directory keeps tracking the sharer).
         """
+        if self.batch_hook is not None:
+            # The victim left the cache before this hook ran; pass it so
+            # deferred hit bits land on it before ``victim.dirty`` below.
+            self.batch_hook(core, victim.region, victim)
         self.stats.evictions += 1
         region = victim.region
         if victim.dirty:
@@ -572,6 +628,9 @@ class CoherenceProtocol:
     # ------------------------------------------------------------------
 
     def _recall_region(self, region: int) -> None:
+        if self.batch_hook is not None:
+            for target in range(self.config.cores):
+                self.batch_hook(target, region, None)
         entry = self.directory.peek(region)
         home = self.topology.home_node(region)
         if entry is not None:

@@ -149,15 +149,18 @@ def _serialize_result(result: RunResult) -> str:
     return json.dumps(result.to_dict(), separators=(",", ":"))
 
 
-def _pool_init(trace_dir: str) -> None:
+def _pool_init(trace_dir: str, batch_env: str = "") -> None:
     """Worker initializer: pin the trace cache, pre-import the machine.
 
     Runs once per worker process (not per task), so spawn-started pools
-    agree with the parent on trace-cache location and every heavy import
-    is paid before the first task arrives.
+    agree with the parent on trace-cache location, batched-execution
+    choice (``REPRO_BATCH``, set by ``--batch/--no-batch``), and every
+    heavy import is paid before the first task arrives.
     """
     if trace_dir:
         os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
+    if batch_env:
+        os.environ["REPRO_BATCH"] = batch_env
     import repro.system.machine  # noqa: F401
 
 
@@ -331,7 +334,8 @@ class ExperimentEngine:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_pool_init,
-                initargs=(str(trace_cache_dir()),),
+                initargs=(str(trace_cache_dir()),
+                          os.environ.get("REPRO_BATCH", "")),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool)

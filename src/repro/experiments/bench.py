@@ -18,11 +18,22 @@ Times five things and writes them to ``BENCH_protozoa.json``:
   the simulator, not the tracer; the off/on comparison quantifies the
   tracing tax and checks that disabled observability leaves no artifacts
   and that enabling it changes no counter (the zero-cost-when-off and
-  parity guarantees of docs/observability.md).
+  parity guarantees of docs/observability.md).  Both phases pin
+  ``REPRO_BATCH=0``: an attached event trace forces the scalar loop
+  anyway, so the comparison must be scalar-vs-scalar to isolate the
+  tracing tax from the batching win;
+* **batch execution** — the microbenchmark with the batched issue loop
+  (:mod:`repro.system.batch`) forced off and then on, plus a
+  scalar-vs-batched counter comparison for every protocol (the
+  bit-identity guarantee ``repro bench --assert-batch-identical``
+  gates on).
 
-Schema 3 adds a ``phases`` section (trace prewarm, worker-pool warm-up,
+Schema 3 added a ``phases`` section (trace prewarm, worker-pool warm-up,
 and the simulate/flush split of one observed run, from
 :class:`repro.obs.timers.PhaseTimers`) and the ``obs_overhead`` section.
+Schema 4 adds the ``batch`` section and records ``parallel_speedup`` as
+``null`` when the sweep ran with a single job (a 1-job "speedup" is
+process noise, not fan-out performance).
 
 Sweeps run against *scratch* result and trace caches, so the serial and
 parallel phases both replay prebuilt packed traces and differ only in
@@ -59,7 +70,7 @@ from repro.experiments._engine import (
 from repro.experiments.runner import ALL_PROTOCOLS
 from repro.trace._cache import TraceCache
 
-BENCH_SCHEMA = 3
+BENCH_SCHEMA = 4
 
 #: Microbenchmark recipe — keep in lockstep with benchmarks/baseline_protozoa.json
 #: (comparing against a baseline recorded under a different recipe is noise).
@@ -155,6 +166,55 @@ def time_single_run(spec: RunSpec, repeats: int) -> Dict:
     }
 
 
+def measure_batch(spec: RunSpec, repeats: int) -> Dict:
+    """The batched issue loop's effect, and the guarantee behind it.
+
+    Times the microbenchmark with ``REPRO_BATCH=0`` and then ``=1``, and
+    compares scalar against batched counters for every protocol on a
+    small differential shape — batch execution must be bit-identical,
+    not merely close (``repro bench --assert-batch-identical`` gates on
+    the ``identical`` map recorded here).
+    """
+    from repro.common.params import SystemConfig
+    from repro.system.batch import ENV_FLAG
+    from repro.system.machine import simulate
+    from repro.trace._cache import packed_streams
+
+    old = os.environ.get(ENV_FLAG)
+    try:
+        rates = {}
+        for setting in ("0", "1"):
+            os.environ[ENV_FLAG] = setting
+            best = 0.0
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = execute_spec(spec)
+                best = max(best,
+                           result.stats.accesses / (time.perf_counter() - start))
+            rates[setting] = best
+    finally:
+        if old is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = old
+    identical = {}
+    streams = packed_streams(spec.workload, cores=8, per_core=400,
+                             seed=spec.seed)
+    for protocol in ALL_PROTOCOLS:
+        config = SystemConfig(protocol=protocol, cores=8)
+        scalar = simulate(streams, config, batch=False).stats.to_dict()
+        batched = simulate(streams, config, batch=True).stats.to_dict()
+        identical[protocol.value] = scalar == batched
+    off, on = rates["0"], rates["1"]
+    return {
+        "off_accesses_per_sec": round(off, 1),
+        "on_accesses_per_sec": round(on, 1),
+        "speedup": round(on / off, 2) if off else None,
+        "identical": identical,
+        "all_identical": all(identical.values()),
+    }
+
+
 def measure_obs_overhead(spec: RunSpec, repeats: int) -> Dict:
     """The tracing tax, and the two guarantees behind it.
 
@@ -164,8 +224,16 @@ def measure_obs_overhead(spec: RunSpec, repeats: int) -> Dict:
     * **disabled is a no-op** — the unobserved run carries no obs
       session, no metrics, and serializes without a ``metrics`` key;
     * **parity** — full tracing changes no simulation counter.
+
+    Both phases pin ``REPRO_BATCH=0``: an attached event trace already
+    forces the scalar loop, so only a scalar-vs-scalar comparison
+    isolates the tracing tax from the batching difference.
     """
+    from repro.system.batch import ENV_FLAG
+
     old = os.environ.pop("REPRO_OBS", None)
+    old_batch = os.environ.get(ENV_FLAG)
+    os.environ[ENV_FLAG] = "0"
     try:
         off_rate = 0.0
         for _ in range(repeats):
@@ -188,6 +256,10 @@ def measure_obs_overhead(spec: RunSpec, repeats: int) -> Dict:
             os.environ.pop("REPRO_OBS", None)
         else:
             os.environ["REPRO_OBS"] = old
+        if old_batch is None:
+            os.environ.pop(ENV_FLAG, None)
+        else:
+            os.environ[ENV_FLAG] = old_batch
     return {
         "disabled_accesses_per_sec": round(off_rate, 1),
         "enabled_accesses_per_sec": round(on_rate, 1),
@@ -246,6 +318,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
         warm = time_sweep(specs, jobs=jobs, cache_root=scratch / "parallel",
                           journal=journal)
         single = time_single_run(MICROBENCH, repeats=repeats)
+        batch = measure_batch(MICROBENCH, repeats=repeats)
         obs_overhead = measure_obs_overhead(MICROBENCH, repeats=repeats)
     finally:
         if old_trace_dir is None:
@@ -305,8 +378,11 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
             "parallel_jobs": parallel_cold["jobs"],
             "warm_s": round(warm["seconds"], 3),
             "warm_jobs": warm["jobs"],
+            # A 1-job "parallel" sweep measures process noise, not
+            # fan-out: the comparison only exists with a real pool.
             "parallel_speedup": round(
-                serial_cold["seconds"] / parallel_cold["seconds"], 2),
+                serial_cold["seconds"] / parallel_cold["seconds"], 2)
+                if parallel_cold["jobs"] > 1 else None,
             "warm_speedup_vs_cold": round(
                 parallel_cold["seconds"] / warm["seconds"], 2)
                 if warm["seconds"] else None,
@@ -324,6 +400,7 @@ def run_bench(quick: bool = False, jobs: Optional[int] = None,
                 obs_overhead["phase_seconds"].get("flush", 0.0), 3),
         },
         "single_run": single,
+        "batch": batch,
         "obs_overhead": {k: v for k, v in obs_overhead.items()
                          if k != "phase_seconds"},
     }
@@ -356,7 +433,9 @@ def render(report: Dict) -> str:
         f"({sweep['serial_jobs']} job)",
         f"cold sweep (parallel):  {sweep['parallel_cold_s']:8.3f}s  "
         f"({sweep['parallel_jobs']} jobs, "
-        f"{sweep['parallel_speedup']}x vs serial)",
+        + (f"{sweep['parallel_speedup']}x vs serial)"
+           if sweep["parallel_speedup"] is not None
+           else "serial fallback - no speedup to compare)"),
         f"warm sweep:             {sweep['warm_s']:8.3f}s  "
         f"({sweep['warm_speedup_vs_cold']}x vs cold, "
         f"{sweep['warm_cache_hits']}/{report['matrix']['cells']} cache hits)",
@@ -376,6 +455,14 @@ def render(report: Dict) -> str:
             f"phases:                 prewarm {phases['trace_prewarm_s']}s, "
             f"pool {phases['warm_pool_s']}s, "
             f"simulate {phases['simulate_s']}s, flush {phases['flush_s']}s")
+    batch = report.get("batch")
+    if batch:
+        lines.append(
+            f"batch execution:        "
+            f"{batch['on_accesses_per_sec']:,.0f} accesses/s batched vs "
+            f"{batch['off_accesses_per_sec']:,.0f} scalar "
+            f"({batch['speedup']}x), "
+            f"identical={'yes' if batch['all_identical'] else 'NO'}")
     obs = report.get("obs_overhead")
     if obs:
         overhead = obs["overhead_pct"]

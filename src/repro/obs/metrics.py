@@ -24,12 +24,33 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 
+# Interned series keys.  record_run_metrics() formats the same ~20
+# (name, labels) combinations once per run, and sweeps call it once per
+# cell — the sort + per-label f-string work is pure waste after the
+# first time.  The cache key is the name plus the sorted label items
+# (hashable for the str/int/enum values the registry actually sees);
+# unhashable values fall through to the slow path, and the size cap
+# keeps a pathological unbounded-cardinality caller from leaking.
+_KEY_CACHE: Dict[tuple, str] = {}
+_KEY_CACHE_MAX = 4096
+
+
 def series_key(name: str, labels: Dict[str, object]) -> str:
     """Canonical series key: ``name{k1=v1,k2=v2}`` with sorted labels."""
     if not labels:
         return name
+    try:
+        cache_key = (name,) + tuple(sorted(labels.items()))
+        cached = _KEY_CACHE.get(cache_key)
+    except TypeError:
+        cache_key = cached = None
+    if cached is not None:
+        return cached
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
-    return f"{name}{{{inner}}}"
+    key = f"{name}{{{inner}}}"
+    if cache_key is not None and len(_KEY_CACHE) < _KEY_CACHE_MAX:
+        _KEY_CACHE[cache_key] = key
+    return key
 
 
 class HistogramData:

@@ -39,8 +39,13 @@ class Simulator:
     """Drives per-core access streams through one protocol instance."""
 
     def __init__(self, protocol: CoherenceProtocol, streams: Streams,
-                 obs=None):
+                 obs=None, batch: Optional[bool] = None):
         self._packed: Optional[PackedTrace] = None
+        # Batch execution over packed columns (repro.system.batch):
+        # True forces it on, False off, None defers to $REPRO_BATCH
+        # (default on).  Either way the run is bit-identical; ineligible
+        # configurations silently take the scalar loop.
+        self._batch = batch
         self._streams: List[Iterator[MemAccess]] = []
         # Observability session (repro.obs): attached to the protocol so
         # its transaction hooks fire, and consulted here for phase timing.
@@ -88,7 +93,10 @@ class Simulator:
     def _issue(self, max_accesses: Optional[int]) -> None:
         """Drain the streams through the protocol (no end-of-run flush)."""
         if self._packed is not None:
-            self._run_packed(max_accesses)
+            from repro.system.batch import maybe_run_batched
+
+            if not maybe_run_batched(self, max_accesses):
+                self._run_packed(max_accesses)
             return
         clocks = self.clocks
         streams = self._streams

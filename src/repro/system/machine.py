@@ -28,12 +28,17 @@ def build_protocol(config: SystemConfig) -> CoherenceProtocol:
 
 def simulate(streams: Streams, config: SystemConfig,
              name: str = "", max_accesses: Optional[int] = None,
-             obs=None) -> RunResult:
+             obs=None, batch: Optional[bool] = None) -> RunResult:
     """Build a machine, run the streams through it, and package the result.
 
     ``streams`` is either per-core ``MemAccess`` iterables or a
     :class:`~repro.trace.packed.PackedTrace`; both replay identically
     (the packed form just skips per-event object construction).
+
+    ``batch`` selects the vectorized issue loop for packed streams
+    (:mod:`repro.system.batch`): ``None`` consults ``REPRO_BATCH``
+    (default on), ``False`` forces the scalar loop, ``True`` forces
+    batch where eligible.  Results are bit-identical either way.
 
     ``obs`` selects observability (:mod:`repro.obs`): ``None`` consults
     ``REPRO_OBS`` (default off — every hook is then a no-op), ``False``
@@ -45,7 +50,7 @@ def simulate(streams: Streams, config: SystemConfig,
     """
     session = resolve_obs(obs)
     protocol = build_protocol(config)
-    simulator = Simulator(protocol, streams, obs=session)
+    simulator = Simulator(protocol, streams, obs=session, batch=batch)
     stats = simulator.run(max_accesses=max_accesses)
     result = RunResult(name=name, config=config, stats=stats, protocol=protocol)
     if session is not None:

@@ -84,6 +84,21 @@ class TraceCache:
         digest = trace_digest(workload, cores, per_core, seed)
         return self.root / digest[:2] / f"{digest}.bin"
 
+    def derived_path_for(self, workload: str, cores: int, per_core: int,
+                         seed: int, region_bytes: int) -> Path:
+        """Sidecar of batch-execution derived columns for one trace.
+
+        Lives in the same fan-out directory as the ``.bin`` it derives
+        from; the ``.drv`` suffix keeps it out of the doctor's
+        packed-trace integrity scan, and the embedded format version
+        makes stale layouts unreachable (like the trace digest itself).
+        """
+        from repro.trace.derived import DERIVED_FORMAT_VERSION
+
+        digest = trace_digest(workload, cores, per_core, seed)
+        return (self.root / digest[:2]
+                / f"{digest}.d{region_bytes}.v{DERIVED_FORMAT_VERSION}.drv")
+
     def get(self, workload: str, cores: int, per_core: int,
             seed: int) -> Optional[PackedTrace]:
         if not self.enabled:
@@ -113,6 +128,8 @@ class TraceCache:
             self.misses += 1
             return None
         self.hits += 1
+        trace._derived_io = _DerivedStore(self, workload, cores, per_core,
+                                          seed)
         return trace
 
     def put(self, trace: PackedTrace, workload: str, cores: int,
@@ -131,7 +148,49 @@ class TraceCache:
             build_streams(workload, cores=cores, per_core=per_core, seed=seed))
         self.built += 1
         self.put(trace, workload, cores, per_core, seed)
+        trace._derived_io = _DerivedStore(self, workload, cores, per_core,
+                                          seed)
         return trace
+
+
+class _DerivedStore:
+    """Sidecar I/O for one cached trace's derived columns.
+
+    Attached to a :class:`PackedTrace` as ``_derived_io`` and consumed by
+    :func:`repro.trace.derived.derived_for`.  Corrupt or stale sidecars
+    are not quarantined — the consumer validates, rebuilds, and rewrites
+    them (they are cheap, trace-local recomputations, unlike the traces
+    and results themselves).
+    """
+
+    __slots__ = ("cache", "workload", "cores", "per_core", "seed")
+
+    def __init__(self, cache: TraceCache, workload: str, cores: int,
+                 per_core: int, seed: int):
+        self.cache = cache
+        self.workload = workload
+        self.cores = cores
+        self.per_core = per_core
+        self.seed = seed
+
+    def _path(self, region_bytes: int) -> Path:
+        return self.cache.derived_path_for(self.workload, self.cores,
+                                           self.per_core, self.seed,
+                                           region_bytes)
+
+    def load(self, region_bytes: int) -> Optional[bytes]:
+        if not self.cache.enabled:
+            return None
+        try:
+            return self._path(region_bytes).read_bytes()
+        except OSError:
+            return None
+
+    def save(self, region_bytes: int, blob: bytes) -> None:
+        if not self.cache.enabled:
+            return
+        durable_replace(self._path(region_bytes),
+                        lambda fh: fh.write(blob), binary=True)
 
 
 def packed_streams(workload: str, cores: int = 16, per_core: int = 2000,

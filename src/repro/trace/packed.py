@@ -68,10 +68,16 @@ Columns = Tuple[array, array, array, array, array]
 class PackedTrace:
     """Per-core columnar access streams (see module docstring)."""
 
-    __slots__ = ("_cols",)
+    __slots__ = ("_cols", "_derived", "_derived_io")
 
     def __init__(self, cols: List[Columns]):
         self._cols = cols
+        # Derived-column support (repro.trace.derived): a per-instance
+        # memo keyed by region_bytes, and — when this trace came out of a
+        # TraceCache — a sidecar store that persists the columns next to
+        # the packed binary.  Neither participates in equality.
+        self._derived: dict = {}
+        self._derived_io = None
 
     # -- construction --------------------------------------------------------
 
