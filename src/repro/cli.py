@@ -303,6 +303,27 @@ def cmd_bench(args) -> int:
                   f"{', '.join(wrong) if wrong else 'every protocol'} "
                   "(counters must be bit-identical)")
             return 1
+        batch_obs = report.get("obs_overhead", {}).get("batch_obs", {})
+        wrong = sorted(name for name, ok
+                       in batch_obs.get("identical", {}).items() if not ok)
+        if wrong:
+            print("FAIL: batched execution with observability diverged "
+                  f"from the scalar obs path for {', '.join(wrong)} "
+                  "(stats and metric dumps must be byte-identical)")
+            return 1
+    if args.assert_obs_overhead is not None:
+        obs = report.get("obs_overhead", {})
+        overhead = obs.get("overhead_pct")
+        if overhead is None or overhead >= args.assert_obs_overhead:
+            print(f"FAIL: enabled-observability overhead "
+                  f"{overhead if overhead is not None else 'unmeasured'}% "
+                  f"(required < {args.assert_obs_overhead}%)")
+            return 1
+        if obs.get("counters_identical") is False \
+                or obs.get("disabled_is_noop") is False:
+            print("FAIL: obs overhead asserted but the parity guarantees "
+                  "do not hold (counters_identical/disabled_is_noop)")
+            return 1
     return 0
 
 
@@ -440,11 +461,13 @@ def cmd_events(args) -> int:
     _apply_common(args)
     protocol = _protocol(args.protocol)
     obs = ObsConfig(enabled=True, ring_size=args.ring,
-                    sample_every=args.sample)
+                    sample_every=args.sample, span_size=args.span)
     streams = packed_streams(args.workload, cores=args.cores,
                              per_core=args.scale, seed=args.seed)
+    # Scalar loop, always: this command's product is the per-transaction
+    # record stream, which the batch engine deliberately does not emit.
     result = simulate(streams, _config(args, protocol), name=args.workload,
-                      obs=obs)
+                      obs=obs, batch=False)
     events = result.obs.events
     if args.summary:
         summary = events.summary()
@@ -676,7 +699,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "requires when jobs > 1 (default 1.0)")
     p.add_argument("--assert-batch-identical", action="store_true",
                    help="exit nonzero unless batched and scalar execution "
-                        "produced bit-identical counters for every protocol")
+                        "produced bit-identical counters for every protocol "
+                        "(with and without observability attached)")
+    p.add_argument("--assert-obs-overhead", type=float, default=None,
+                   metavar="PCT",
+                   help="exit nonzero unless the measured enabled-vs-"
+                        "disabled observability overhead is below PCT "
+                        "percent (and the parity guarantees hold)")
     p.add_argument("--record-baseline", action="store_true",
                    help="re-record benchmarks/baseline_protozoa.json from this "
                         "machine's microbenchmark")
@@ -852,7 +881,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="event ring-buffer capacity (default 4096; oldest "
                         "events are overwritten beyond it)")
     p.add_argument("--sample", type=int, default=1,
-                   help="record every Nth transaction (default 1: all)")
+                   help="keep 1-in-N transactions (default 1: all)")
+    p.add_argument("--span", type=int, default=1,
+                   help="admit sampled transactions in contiguous spans of "
+                        "K (default 1: plain every-Nth sampling); kept "
+                        "bursts make message sequences readable in context")
     p.add_argument("--core", type=int, default=None,
                    help="only events issued by this core")
     p.add_argument("--op", default=None, choices=["r", "w", "R", "W"],

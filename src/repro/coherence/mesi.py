@@ -32,22 +32,22 @@ class MESIProtocol(CoherenceProtocol):
     def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
                entry: DirectoryEntry, home: int) -> List[int]:
         legs: List[int] = []
-        events = self._obs_events
+        obs = self._obs
         if not is_write:
             owner = entry.sole_owner()
             if len(entry.writers) > 1:
                 raise ProtocolError(f"MESI tracked multiple owners for R{region}")
             if owner is not None and owner != core:
-                if events is not None:
-                    events.action("downgrade", owner)
+                if obs is not None:
+                    self._obs_action("downgrade", owner)
                 legs.append(self._downgrade_region_at(owner, region, home))
         else:
             if len(entry.writers) > 1:
                 raise ProtocolError(f"MESI tracked multiple owners for R{region}")
             for target in sorted(entry.sharers() - {core}):
                 mtype = MsgType.FWD_GETX if target in entry.writers else MsgType.INV
-                if events is not None:
-                    events.action("invalidate", target)
+                if obs is not None:
+                    self._obs_action("invalidate", target)
                 legs.append(self._invalidate_region_at(target, region, home, mtype))
         return legs
 

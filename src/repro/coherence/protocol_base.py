@@ -42,6 +42,7 @@ from repro.memory.fixed_cache import FixedCache
 from repro.memory.mshr import MSHRFile
 from repro.memory.sector_cache import SectorCache
 from repro.memory.predictor import SpatialPredictor, make_predictor
+from repro.obs.events import F_ACTIONS, F_GRANTED, F_MSGS
 from repro.stats.counters import RunStats
 
 _STATE_RANK = {LineState.S: 0, LineState.E: 1, LineState.M: 2}
@@ -51,6 +52,12 @@ class CoherenceProtocol:
     """Base engine; see module docstring."""
 
     kind: ProtocolKind = ProtocolKind.MESI
+
+    # Every directory-side action any engine reports, in sorted order.
+    # attach_obs preassigns one scratch counter slot per kind so the
+    # per-action cost is a list index add (see _obs_action).
+    ACTION_KINDS = ("downgrade", "invalidate", "owner_getx",
+                    "probe_read", "probe_write", "revoke_writer")
 
     def __init__(self, config: SystemConfig, stats: Optional[RunStats] = None):
         self.config = config
@@ -85,10 +92,16 @@ class CoherenceProtocol:
         self.trace_hook = None
         # Observability (repro.obs): None when disabled, which keeps every
         # hook in the transaction loop at one attribute load + None test.
-        # ``_obs_events`` aliases the session's event trace so the hot
-        # path never chases two attributes.
+        # ``_obs_events`` aliases the session's event trace and
+        # ``_obs_scratch`` the flat scratch-counter slot list so the hot
+        # path never chases two attributes; slot indices (hit/miss by op,
+        # action by kind) are assigned once in attach_obs.
         self._obs = None
         self._obs_events = None
+        self._obs_scratch = None
+        self._sc_hit = (0, 0)    # (read, write) — indexed by is_write
+        self._sc_miss = (0, 0)
+        self._sc_action: Dict[str, int] = {}
         # Batch execution (repro.system.batch): called as
         # (core, region, victim_or_None) before this engine reads the
         # dirty/touched masks of blocks the batch runner may still hold
@@ -99,36 +112,74 @@ class CoherenceProtocol:
     def attach_obs(self, obs) -> None:
         """Wire an :class:`repro.obs.Observability` session into this engine.
 
-        The event trace taps the existing per-message ``trace_hook``
-        (chaining with any hook already installed) and the per-transaction
-        hooks in :meth:`_access`; the metrics registry taps the network
-        accountant.  Detach by passing ``None``.
+        Everything expensive happens here, once, so the per-event cost
+        stays off the hot path:
+
+        * the event trace needs no wiring at all — :meth:`_access` and
+          :meth:`_send` emit to it inline, gated on an *open record*, so
+          sampled-out transactions never pay a Python call per message
+          (``trace_hook`` stays a purely user-facing hook);
+        * the metrics registry hands out *scratch* counter slots — hit,
+          miss, and directory-action counts become plain list-index adds,
+          folded into labeled series on any registry read — and *bound*
+          histograms for the network accountant, whose value-indexed
+          count lists are installed directly on the accountant and
+          incremented inline per transfer (no closure call),
+          preallocated to the topology's maximum hop count and the
+          widest message's flit count.
+
+        Detach by passing ``None`` (scratch slots and the accountant's
+        histogram lists are released; ``trace_hook`` is untouched).
         """
         self._obs = obs
         self._obs_events = obs.events if obs is not None else None
+        net = self.net
         if obs is None:
+            self._obs_scratch = None
+            self._sc_action = {}
+            net.obs_hop_counts = net.obs_flit_counts = None
+            net.obs_hop_hist = net.obs_flit_hist = None
             return
-        events = obs.events
-        if events is not None:
-            prev = self.trace_hook
-            if prev is None:
-                self.trace_hook = events.message
-            else:
-                def chained(mtype, src, dst, payload_words,
-                            _prev=prev, _events=events):
-                    _prev(mtype, src, dst, payload_words)
-                    _events.message(mtype, src, dst, payload_words)
-                self.trace_hook = chained
         if obs.metrics is not None:
-            hops = obs.metrics.histogram("repro_message_hops")
-            flits = obs.metrics.histogram("repro_message_flits")
+            scratch = obs.metrics.counter_scratch()
+            self._sc_hit = (
+                scratch.slot("repro_txn_total", op="read", outcome="hit"),
+                scratch.slot("repro_txn_total", op="write", outcome="hit"),
+            )
+            self._sc_miss = (
+                scratch.slot("repro_txn_total", op="read", outcome="miss"),
+                scratch.slot("repro_txn_total", op="write", outcome="miss"),
+            )
+            self._sc_action = {
+                kind: scratch.slot("repro_actions_total", kind=kind)
+                for kind in self.ACTION_KINDS
+            }
+            self._obs_scratch = scratch.slots
+            hops = obs.metrics.bound_histogram(
+                "repro_message_hops", max_value=self.topology.max_hops)
+            flits = obs.metrics.bound_histogram(
+                "repro_message_flits",
+                max_value=net.max_flits(
+                    MsgType.WBACK.size_bytes(self.config.words_per_region)))
+            net.obs_hop_counts = hops.counts
+            net.obs_flit_counts = flits.counts
+            net.obs_hop_hist = hops
+            net.obs_flit_hist = flits
 
-            def observe_transfer(hop_count, flit_count,
-                                 _hops=hops, _flits=flits):
-                _hops.observe(hop_count)
-                _flits.observe(flit_count)
+    def _obs_action(self, kind: str, target: int) -> None:
+        """Report one directory-side action (scratch counter + event ring).
 
-            self.net.observer = observe_transfer
+        Engines call this only after an ``is not None`` test on
+        ``self._obs``, so the disabled path never pays the call.
+        """
+        sc = self._obs_scratch
+        if sc is not None:
+            sc[self._sc_action[kind]] += 1
+        events = self._obs_events
+        if events is not None:
+            rec = events._open
+            if rec is not None:
+                rec[F_ACTIONS].append([kind, target])
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -178,9 +229,6 @@ class CoherenceProtocol:
     def _access(self, core: int, is_write: bool, addr: int, size: int, pc: int) -> int:
         if not 0 <= core < self.config.cores:
             raise SimulationError(f"core {core} out of range")
-        obs_events = self._obs_events
-        if obs_events is not None:
-            obs_events.begin(core, is_write, addr, size, pc)
         region, rng = self.amap.access_range(addr, size)
         stats = self.stats
         if is_write:
@@ -209,10 +257,39 @@ class CoherenceProtocol:
             else:
                 stats.read_hits += 1
                 self._do_read(core, region, rng)
+            # Hits send no messages, so the whole observability cost is
+            # one scratch add and one sealed-record call at the end.
+            sc = self._obs_scratch
+            if sc is not None:
+                sc[self._sc_hit[is_write]] += 1
+            obs_events = self._obs_events
             if obs_events is not None:
-                obs_events.end(self._hit_latency, hit=True)
+                # Sampled-out fast path, inlined from EventTrace.hit():
+                # at the env-default 1-in-8 rate most hits need only the
+                # hit counter (seen/sampled_out are derived), and the
+                # call into hit() is the bulk of their cost.  Keep in
+                # lockstep with _admit().
+                skip = obs_events._skip_left
+                if skip and not obs_events._admit_left:
+                    obs_events._skip_left = skip - 1
+                    obs_events.hits += 1
+                else:
+                    obs_events.hit(core, is_write, addr, size, pc,
+                                   self._hit_latency)
             return self._hit_latency
 
+        # Miss path: open the record first so messages/actions/grant
+        # emitted while serving the miss attach to it.
+        obs_events = self._obs_events
+        if obs_events is not None:
+            # Sampled-out fast path, inlined (see the hit path above);
+            # the miss itself is counted after _miss below.
+            skip = obs_events._skip_left
+            if skip and not obs_events._admit_left:
+                obs_events._skip_left = skip - 1
+                obs_events._open = None
+            else:
+                obs_events.begin(core, is_write, addr, size, pc)
         latency = self._miss(core, is_write, region, rng, pc, covered_r & mask)
         if is_write:
             self._do_write(core, region, rng)
@@ -220,8 +297,14 @@ class CoherenceProtocol:
             self._do_read(core, region, rng)
         if self._check_invariants:
             self.check_region_invariants(region)
+        sc = self._obs_scratch
+        if sc is not None:
+            sc[self._sc_miss[is_write]] += 1
         if obs_events is not None:
-            obs_events.end(latency, hit=False)
+            if obs_events._open is None:
+                obs_events.misses += 1
+            else:
+                obs_events.end(latency, hit=False)
         return latency
 
     # -- batch-execution hooks (repro.system.batch) ---------------------
@@ -345,8 +428,11 @@ class CoherenceProtocol:
         self._txn_suppliers = []
         legs = self._probe(core, region, req, is_write, entry, home)
         granted = self._grant(core, region, req, is_write, entry)
-        if self._obs_events is not None:
-            self._obs_events.grant(granted)
+        obs_events = self._obs_events
+        if obs_events is not None:
+            rec = obs_events._open
+            if rec is not None:
+                rec[F_GRANTED] = granted.name
         payload_words = popcount(payload_mask)
         supplier = self._three_hop_supplier(payload_mask) if payload_words else None
         if supplier is not None:
@@ -406,6 +492,15 @@ class CoherenceProtocol:
         latency = self.net.transfer(src_node, dst_node, size)
         if self.trace_hook is not None:
             self.trace_hook(mtype, src_node, dst_node, payload_words)
+        obs_events = self._obs_events
+        if obs_events is not None:
+            # Inline EventTrace.message(): transactions whose record was
+            # sampled out pay one attribute load + None test per message
+            # instead of a Python call.
+            rec = obs_events._open
+            if rec is not None:
+                rec[F_MSGS].append(
+                    [mtype.label, src_node, dst_node, payload_words])
         if at_l1:
             self.stats.control_bytes(mtype.category, mtype.control_bytes)
             if payload_words and mtype in (MsgType.WBACK, MsgType.WBACK_LAST):

@@ -134,17 +134,17 @@ class ProtozoaMWProtocol(_OverlapAwareProtocol):
     def _probe(self, core: int, region: int, req: WordRange, is_write: bool,
                entry: DirectoryEntry, home: int) -> List[int]:
         legs: List[int] = []
-        events = self._obs_events
+        obs = self._obs
         if not is_write:
             # Readers coexist freely; only (potential) writers are probed.
             for target in sorted(entry.writers - {core}):
-                if events is not None:
-                    events.action("probe_read", target)
+                if obs is not None:
+                    self._obs_action("probe_read", target)
                 legs.append(self._probe_overlap_read(target, region, req, home, entry))
             return legs
         for target in sorted(entry.sharers() - {core}):
-            if events is not None:
-                events.action("probe_write", target)
+            if obs is not None:
+                self._obs_action("probe_write", target)
             legs.append(
                 self._probe_overlap_write(
                     target, region, req, home, entry, as_writer=target in entry.writers
@@ -223,21 +223,21 @@ class ProtozoaSWMRProtocol(_OverlapAwareProtocol):
         if len(entry.writers) > 1:
             raise ProtocolError(f"SW+MR tracked multiple writers for R{region}")
         legs: List[int] = []
-        events = self._obs_events
+        obs = self._obs
         writer = entry.sole_owner()
         if not is_write:
             if writer is not None and writer != core:
-                if events is not None:
-                    events.action("probe_read", writer)
+                if obs is not None:
+                    self._obs_action("probe_read", writer)
                 legs.append(self._probe_overlap_read(writer, region, req, home, entry))
             return legs
         if writer is not None and writer != core:
-            if events is not None:
-                events.action("revoke_writer", writer)
+            if obs is not None:
+                self._obs_action("revoke_writer", writer)
             legs.append(self._revoke_writer(writer, region, req, home, entry))
         for target in sorted(entry.readers - {core}):
-            if events is not None:
-                events.action("probe_write", target)
+            if obs is not None:
+                self._obs_action("probe_write", target)
             legs.append(
                 self._probe_overlap_write(target, region, req, home, entry, as_writer=False)
             )

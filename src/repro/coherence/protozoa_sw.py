@@ -42,23 +42,23 @@ class ProtozoaSWProtocol(CoherenceProtocol):
         if len(entry.writers) > 1:
             raise ProtocolError(f"Protozoa-SW tracked multiple owners for R{region}")
         legs: List[int] = []
-        events = self._obs_events
+        obs = self._obs
         owner = entry.sole_owner()
         if not is_write:
             if owner is not None and owner != core:
-                if events is not None:
-                    events.action("downgrade", owner)
+                if obs is not None:
+                    self._obs_action("downgrade", owner)
                 legs.append(self._downgrade_region_at(owner, region, home))
             return legs
         if owner == core:
             # Additional GETX from the owner: serve data, probe nobody.
-            if events is not None:
-                events.action("owner_getx", core)
+            if obs is not None:
+                self._obs_action("owner_getx", core)
             return legs
         for target in sorted(entry.sharers() - {core}):
             mtype = MsgType.FWD_GETX if target in entry.writers else MsgType.INV
-            if events is not None:
-                events.action("invalidate", target)
+            if obs is not None:
+                self._obs_action("invalidate", target)
             legs.append(self._invalidate_region_at(target, region, home, mtype))
         return legs
 

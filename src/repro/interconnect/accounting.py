@@ -21,9 +21,18 @@ class NetworkAccountant:
         self.total_flits = 0
         self.total_flit_hops = 0
         self.total_messages = 0
-        # Optional per-message observer called as (hops, flits); installed
-        # by repro.obs when metrics are enabled, None (free) otherwise.
+        # Optional per-message observer called as (hops, flits); a
+        # generic hook for external callers, None (free) otherwise.
         self.observer = None
+        # Fast-path observability (installed by attach_obs when metrics
+        # are on): the value-indexed count lists of the hop/flit bound
+        # histograms, incremented inline per transfer — no closure call.
+        # The histogram handles back grow-on-overflow; growth extends
+        # the lists in place, so the references here stay valid.
+        self.obs_hop_counts = None
+        self.obs_flit_counts = None
+        self.obs_hop_hist = None
+        self.obs_flit_hist = None
 
     def flits(self, size_bytes: int) -> int:
         """Number of flits needed for a message of ``size_bytes``."""
@@ -31,6 +40,10 @@ class NetworkAccountant:
             return 0
         fb = self.config.flit_bytes
         return (size_bytes + fb - 1) // fb
+
+    def max_flits(self, max_size_bytes: int) -> int:
+        """Flit count of the largest possible message (histogram bound)."""
+        return self.flits(max_size_bytes)
 
     def transfer(self, src_node: int, dst_node: int, size_bytes: int) -> int:
         """Record one message on the network; returns its network latency.
@@ -44,6 +57,22 @@ class NetworkAccountant:
         self.total_messages += 1
         self.total_flits += flits
         self.total_flit_hops += flits * hops
+        h = self.obs_hop_counts
+        if h is not None:
+            # Each increment recovers independently (grow keeps list
+            # identity), so a raise on the second can never double-count
+            # the first.
+            try:
+                h[hops] += 1
+            except IndexError:
+                self.obs_hop_hist.grow(hops)
+                h[hops] += 1
+            f = self.obs_flit_counts
+            try:
+                f[flits] += 1
+            except IndexError:
+                self.obs_flit_hist.grow(flits)
+                f[flits] += 1
         if self.observer is not None:
             self.observer(hops, flits)
         per_hop = self.config.link_latency + self.config.router_latency

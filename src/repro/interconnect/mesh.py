@@ -24,6 +24,9 @@ class MeshTopology:
         self.nodes = self.width * self.height
         self._corners = self._corner_nodes()
         self._hops = self._precompute_hops()
+        # Largest hop count any route can see (the far-corner diagonal);
+        # lets observers preallocate value-indexed histograms.
+        self.max_hops = (self.width - 1) + (self.height - 1)
 
     def _corner_nodes(self) -> List[int]:
         w, h = self.width, self.height

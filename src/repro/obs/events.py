@@ -1,20 +1,47 @@
 """The structured per-transaction event trace.
 
 Every memory access is one coherence transaction; with tracing enabled the
-protocol engine opens a record at transaction start, appends the directory
-actions and the full message sequence as they happen, and seals the record
-with the outcome (hit/miss, granted state, latency).  Records are plain
-dicts so JSONL export is a straight ``json.dumps`` per line:
+protocol engine seals one record per admitted transaction.  **Hits** send
+no messages (the fast path touches only the local L1), so the engine seals
+a complete hit record with a single :meth:`EventTrace.hit` call at
+transaction end.  **Misses** open a record first (:meth:`begin`), append
+directory actions and the full message sequence as they happen, and seal
+it with the outcome (:meth:`end`).  The dict view (what ``records()``
+returns and JSONL export writes) is:
 
 ``{"seq": 17, "core": 3, "op": "W", "addr": 32776, "size": 8, "pc": 4196,
   "hit": false, "latency": 46, "granted": "M",
   "actions": [["invalidate", 1]],
   "msgs": [["GETX", 3, 9, 0], ["INV", 9, 1, 0], ...]}``
 
+**Sealed records are not dicts.**  Internally a record is a fixed 11-slot
+list (see the ``F_*`` field indices); dict materialization is deferred to
+read time.  That matters because sealing is the hot path's dominant
+per-event cost: once the ring is full, :meth:`hit` *overwrites the slots
+of the evicted record's list in place* — eleven list stores, zero
+allocation — instead of building a 10-key dict and two fresh lists per
+event.  Reads (``records()``, ``filtered()``, ``summary()``) touch at
+most ``capacity`` retained records, so materialization cost is bounded by
+the ring, not the trace length.
+
 Retention is a bounded **ring buffer**: the newest ``capacity`` sealed
 records survive, older ones are overwritten (counted in ``dropped``).
-``sample_every=N`` seals only every Nth transaction — the rest are never
-materialized, so heavy runs can keep tracing on at low cost.
+``sample_every=N`` keeps 1-in-N transactions, admitted in contiguous
+*spans* of ``span`` transactions (admit ``span``, skip
+``span * (N - 1)``, repeat): the sampling decision is made once per span
+boundary instead of once per event, and the ring holds whole bursts of
+consecutive transactions, which keeps message/action sequences
+interpretable in context.  ``span=1`` (the default) reproduces plain
+every-Nth sampling.  Global counters (``seen``/``hits``/``misses``) are
+transaction-level: they count every transaction whether or not its record
+was admitted, so they match :class:`~repro.stats.counters.RunStats`
+regardless of sampling.
+
+Transactions executed by the batched run-ahead engine
+(:mod:`repro.system.batch`) are proven hits dispatched in bulk; they are
+counted via :meth:`note_batched` (``seen``/``hits``/``batched``) but
+never materialize records — the ring holds the scalar-executed
+transactions (misses, evictions, and the stretches around them).
 """
 
 from __future__ import annotations
@@ -22,81 +49,203 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, Iterator, List, Optional
 
+# Field indices of a sealed record (a fixed 11-slot list).  Hit records
+# share one immutable empty tuple for actions/msgs; the dict view
+# converts it back to a list.
+F_SEQ, F_CORE, F_OP, F_ADDR, F_SIZE, F_PC = 0, 1, 2, 3, 4, 5
+F_HIT, F_LATENCY, F_GRANTED, F_ACTIONS, F_MSGS = 6, 7, 8, 9, 10
+_NONE = ()
+
+
+def _to_dict(rec: List) -> Dict:
+    """Materialize the dict view of one sealed record."""
+    out = {
+        "seq": rec[F_SEQ],
+        "core": rec[F_CORE],
+        "op": rec[F_OP],
+        "addr": rec[F_ADDR],
+        "size": rec[F_SIZE],
+        "pc": rec[F_PC],
+        "hit": rec[F_HIT],
+        "latency": rec[F_LATENCY],
+        "actions": list(rec[F_ACTIONS]),
+        "msgs": list(rec[F_MSGS]),
+    }
+    if rec[F_GRANTED] is not None:
+        out["granted"] = rec[F_GRANTED]
+    return out
+
 
 class EventTrace:
-    """Bounded, sampled ring of per-transaction records."""
+    """Bounded, span-sampled ring of per-transaction records."""
 
-    __slots__ = ("capacity", "sample_every", "seen", "recorded", "dropped",
-                 "sampled_out", "hits", "misses", "_ring", "_next", "_open")
+    __slots__ = ("capacity", "sample_every", "span", "recorded",
+                 "dropped", "hits", "misses", "batched",
+                 "_ring", "_next", "_open", "_always", "_admit_left",
+                 "_skip_left")
 
-    def __init__(self, capacity: int = 4096, sample_every: int = 1):
+    def __init__(self, capacity: int = 4096, sample_every: int = 1,
+                 span: int = 1):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
+        if span < 1:
+            raise ValueError("span must be >= 1")
         self.capacity = capacity
         self.sample_every = sample_every
-        self.seen = 0         # transactions observed (sampled or not)
+        self.span = span
         self.recorded = 0     # records sealed (including later-overwritten)
         self.dropped = 0      # sealed records overwritten by ring wrap
-        self.sampled_out = 0  # transactions skipped by sampling
-        self.hits = 0
+        self.hits = 0         # transaction-level (sampling-independent)
         self.misses = 0
-        self._ring: List[Dict] = []
+        self.batched = 0      # hits executed by the batch engine (no records)
+        self._ring: List[List] = []
         self._next = 0        # overwrite cursor once the ring is full
-        self._open: Optional[Dict] = None
+        self._open: Optional[List] = None
+        # Span-sampling state: admit while _admit_left, then skip while
+        # _skip_left, then recompute both at the span boundary.  _always
+        # short-circuits the whole machine when sampling is off.
+        self._always = sample_every == 1
+        self._admit_left = 0
+        self._skip_left = 0
+
+    @property
+    def seen(self) -> int:
+        """Transactions observed (sampled or not).
+
+        Derived, not maintained: every transaction is counted exactly
+        once as a hit or a miss, so the total costs nothing on the hot
+        path.
+        """
+        return self.hits + self.misses
+
+    @property
+    def sampled_out(self) -> int:
+        """Transactions whose record was skipped by sampling.
+
+        Derived: everything seen that neither sealed a record nor was
+        bulk-counted by the batch engine was sampled out.
+        """
+        return self.hits + self.misses - self.recorded - self.batched
+
+    def _admit(self) -> bool:
+        """One sampling decision; hit/miss counting is the caller's job.
+
+        :meth:`hit` and :meth:`begin` inline this logic (one Python call
+        per transaction is most of the sampled-out cost), and the
+        protocol engine's hit and miss paths additionally inline the
+        sampled-out branch before calling :meth:`hit`/:meth:`begin` at
+        all; keep the copies in lockstep.
+        """
+        if self._admit_left:
+            self._admit_left -= 1
+            return True
+        if self._skip_left:
+            self._skip_left -= 1
+            return False
+        self._admit_left = self.span - 1
+        self._skip_left = self.span * (self.sample_every - 1)
+        return True
 
     # -- recording hooks (called by the protocol engine) ---------------------
 
+    def hit(self, core: int, is_write: bool, addr: int, size: int,
+            pc: int, latency: int) -> None:
+        """Seal a complete hit record in one call (hits send no messages).
+
+        Steady state (ring full) allocates nothing: the evicted record's
+        slot list is overwritten in place.
+        """
+        seq = self.hits + self.misses
+        self.hits += 1
+        if not self._always:
+            # _admit(), inlined: the sampled-out return is the common
+            # case at high sample rates and must not pay a second call.
+            left = self._admit_left
+            if left:
+                self._admit_left = left - 1
+            else:
+                skip = self._skip_left
+                if skip:
+                    self._skip_left = skip - 1
+                    return
+                self._admit_left = self.span - 1
+                self._skip_left = self.span * (self.sample_every - 1)
+        ring = self._ring
+        if len(ring) >= self.capacity:
+            rec = ring[self._next]
+            rec[F_SEQ] = seq
+            rec[F_CORE] = core
+            rec[F_OP] = "W" if is_write else "R"
+            rec[F_ADDR] = addr
+            rec[F_SIZE] = size
+            rec[F_PC] = pc
+            rec[F_HIT] = True
+            rec[F_LATENCY] = latency
+            rec[F_GRANTED] = None
+            rec[F_ACTIONS] = _NONE
+            rec[F_MSGS] = _NONE
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+        else:
+            ring.append([seq, core, "W" if is_write else "R", addr, size,
+                         pc, True, latency, None, _NONE, _NONE])
+        self.recorded += 1
+
     def begin(self, core: int, is_write: bool, addr: int, size: int,
               pc: int) -> None:
-        seq = self.seen
-        self.seen = seq + 1
-        if self.sample_every > 1 and seq % self.sample_every:
-            self.sampled_out += 1
-            self._open = None
-            return
-        self._open = {
-            "seq": seq,
-            "core": core,
-            "op": "W" if is_write else "R",
-            "addr": addr,
-            "size": size,
-            "pc": pc,
-            "actions": [],
-            "msgs": [],
-        }
+        """Open a record for a transaction that will accumulate events."""
+        seq = self.hits + self.misses
+        if not self._always:
+            # _admit(), inlined (see hit()).  The transaction itself is
+            # counted by end(), whether or not a record was opened.
+            left = self._admit_left
+            if left:
+                self._admit_left = left - 1
+            else:
+                skip = self._skip_left
+                if skip:
+                    self._skip_left = skip - 1
+                    self._open = None
+                    return
+                self._admit_left = self.span - 1
+                self._skip_left = self.span * (self.sample_every - 1)
+        self._open = [seq, core, "W" if is_write else "R", addr, size, pc,
+                      None, 0, None, [], []]
 
     def message(self, mtype, src_node: int, dst_node: int,
                 payload_words: int) -> None:
         """One network message of the open transaction (trace_hook shape)."""
         rec = self._open
         if rec is not None:
-            rec["msgs"].append([mtype.label, src_node, dst_node, payload_words])
+            rec[F_MSGS].append(
+                [mtype.label, src_node, dst_node, payload_words])
 
     def action(self, kind: str, target: int) -> None:
         """A directory-side action (probe/downgrade/invalidate/revoke)."""
         rec = self._open
         if rec is not None:
-            rec["actions"].append([kind, target])
+            rec[F_ACTIONS].append([kind, target])
 
     def grant(self, state) -> None:
         """The L1 state granted to the requester (miss path only)."""
         rec = self._open
         if rec is not None:
-            rec["granted"] = state.name
+            rec[F_GRANTED] = state.name
 
     def end(self, latency: int, hit: bool) -> None:
-        rec = self._open
-        if rec is None:
-            return
-        self._open = None
-        rec["hit"] = hit
-        rec["latency"] = latency
+        """Seal the open record (if admitted) and count the transaction."""
         if hit:
             self.hits += 1
         else:
             self.misses += 1
+        rec = self._open
+        if rec is None:
+            return
+        self._open = None
+        rec[F_HIT] = hit
+        rec[F_LATENCY] = latency
         ring = self._ring
         if len(ring) < self.capacity:
             ring.append(rec)
@@ -106,31 +255,40 @@ class EventTrace:
             self.dropped += 1
         self.recorded += 1
 
+    def note_batched(self, count: int) -> None:
+        """Count ``count`` batch-executed hits (bulk; no records sealed)."""
+        self.hits += count
+        self.batched += count
+
     # -- reading -------------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self._ring)
 
-    def records(self) -> List[Dict]:
-        """Retained records, oldest first."""
+    def _sealed(self) -> List[List]:
+        """Retained internal records, oldest first."""
         ring = self._ring
         if len(ring) < self.capacity or self._next == 0:
             return list(ring)
         return ring[self._next:] + ring[:self._next]
+
+    def records(self) -> List[Dict]:
+        """Retained records as dicts, oldest first."""
+        return [_to_dict(rec) for rec in self._sealed()]
 
     def filtered(self, core: Optional[int] = None, op: Optional[str] = None,
                  misses_only: bool = False,
                  limit: Optional[int] = None) -> Iterator[Dict]:
         """Records matching the ``repro events`` filter flags, oldest first."""
         emitted = 0
-        for rec in self.records():
-            if core is not None and rec["core"] != core:
+        for rec in self._sealed():
+            if core is not None and rec[F_CORE] != core:
                 continue
-            if op is not None and rec["op"] != op:
+            if op is not None and rec[F_OP] != op:
                 continue
-            if misses_only and rec["hit"]:
+            if misses_only and rec[F_HIT]:
                 continue
-            yield rec
+            yield _to_dict(rec)
             emitted += 1
             if limit is not None and emitted >= limit:
                 return
@@ -150,10 +308,10 @@ class EventTrace:
         action_counts: Dict[str, int] = {}
         latency_total = 0
         for rec in self._ring:
-            latency_total += rec["latency"]
-            for msg in rec["msgs"]:
+            latency_total += rec[F_LATENCY]
+            for msg in rec[F_MSGS]:
                 msg_counts[msg[0]] = msg_counts.get(msg[0], 0) + 1
-            for act in rec["actions"]:
+            for act in rec[F_ACTIONS]:
                 action_counts[act[0]] = action_counts.get(act[0], 0) + 1
         retained = len(self._ring)
         return {
@@ -163,6 +321,8 @@ class EventTrace:
             "dropped": self.dropped,
             "sampled_out": self.sampled_out,
             "sample_every": self.sample_every,
+            "span": self.span,
+            "batched": self.batched,
             "hits": self.hits,
             "misses": self.misses,
             "mean_latency_retained": (
@@ -181,8 +341,12 @@ def summarize_jsonl(lines: Iterable[str]) -> Dict:
         if not line:
             continue
         rec = json.loads(line)
-        trace._ring.append(rec)
-        trace.seen += 1
+        trace._ring.append([
+            rec.get("seq"), rec.get("core"), rec.get("op"), rec.get("addr"),
+            rec.get("size"), rec.get("pc"), rec.get("hit"),
+            rec.get("latency", 0), rec.get("granted"),
+            rec.get("actions", ()), rec.get("msgs", ()),
+        ])
         trace.recorded += 1
         if rec.get("hit"):
             trace.hits += 1

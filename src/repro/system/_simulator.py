@@ -82,12 +82,16 @@ class Simulator:
             self._issue(max_accesses)
             if flush:
                 self.protocol.flush()
-            return self.stats
-        with timers.phase("simulate"):
-            self._issue(max_accesses)
-        if flush:
-            with timers.phase("flush"):
-                self.protocol.flush()
+        else:
+            with timers.phase("simulate"):
+                self._issue(max_accesses)
+            if flush:
+                with timers.phase("flush"):
+                    self.protocol.flush()
+        if obs is not None and obs.metrics is not None:
+            # Phase boundary: commit the engines' deferred scratch deltas
+            # (idempotent — any registry read folds too).
+            obs.metrics.fold_pending()
         return self.stats
 
     def _issue(self, max_accesses: Optional[int]) -> None:

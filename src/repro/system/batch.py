@@ -48,10 +48,17 @@ heap traffic on the scalar path.  numpy, when importable, accelerates
 *deriving* the columns (:func:`repro.trace.derived.derive`); execution
 is identical with or without it.
 
+Observability (:mod:`repro.obs`) composes with batching: batched hits
+fold into the engine's scratch counter slots and are counted in bulk on
+the event trace (:meth:`EventTrace.note_batched`) at the same per-pop
+points where their ``RunStats`` effects fold, so metric dumps are
+byte-identical to an obs-enabled scalar run.  Scalar-executed
+transactions (misses, evictions, and the stretches around them) record
+normally — they are what the ring retains under batching.
+
 Batch mode declines (returning the scalar path, never an error) when
-the stream is not packed, ``REPRO_BATCH=0``, an event trace is
-attached, ``check_values`` is on, or regions are wider than the 62-word
-mask columns.
+the stream is not packed, ``REPRO_BATCH=0``, ``check_values`` is on, or
+regions are wider than the 62-word mask columns.
 """
 
 from __future__ import annotations
@@ -93,9 +100,6 @@ def maybe_run_batched(sim, max_accesses: Optional[int]) -> bool:
     if requested is None and not batch_env_enabled():
         return False
     protocol = sim.protocol
-    if protocol._obs_events is not None:
-        # Per-transaction event records are inherently scalar.
-        return False
     config = protocol.config
     if config.check_values:
         # Golden-value tracking needs every word write replayed.
@@ -187,6 +191,13 @@ class _BatchRunner:
         next_hard = self._next_hard
         issued = 0
         instructions = 0
+        # Observability composes: batched hits fold into the same scratch
+        # slots the scalar hot path increments, and the event trace counts
+        # them in bulk (no records — those stay scalar-only).
+        obs_events = protocol._obs_events
+        sc = protocol._obs_scratch
+        sc_hit_read, sc_hit_write = protocol._sc_hit if sc is not None \
+            else (0, 0)
         # Everything a pop binds about its core, behind one list index:
         # a pop frequently retires a single event (exact-order regime),
         # so per-core state must cost one unpack, not a dozen lookups.
@@ -301,10 +312,16 @@ class _BatchRunner:
                 if n_reads:
                     stats.reads += n_reads
                     stats.read_hits += n_reads
+                    if sc is not None:
+                        sc[sc_hit_read] += n_reads
                 if n_writes:
                     stats.writes += n_writes
                     stats.write_hits += n_writes
                     protocol._seq += seq_add
+                    if sc is not None:
+                        sc[sc_hit_write] += n_writes
+                if obs_events is not None and n_reads + n_writes:
+                    obs_events.note_batched(n_reads + n_writes)
                 cursor[core] = i
                 clocks[core] = clock
                 if i < n_events:

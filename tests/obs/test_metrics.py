@@ -2,7 +2,10 @@
 
 import json
 
-from repro.obs.metrics import HistogramData, MetricsRegistry, series_key
+import pytest
+
+from repro.obs.metrics import (HistogramData, MetricsRegistry, _KEY_CACHE,
+                               _KEY_CACHE_MAX, parse_series_key, series_key)
 
 
 class TestSeriesKey:
@@ -16,6 +19,41 @@ class TestSeriesKey:
     def test_label_order_is_canonical(self):
         assert (series_key("m", {"x": 1, "y": 2})
                 == series_key("m", {"y": 2, "x": 1}))
+
+
+class TestSeriesKeyEscaping:
+    def test_structural_characters_round_trip(self):
+        labels = {"path": "a,b=c{d}e\\f", "plain": "ok"}
+        name, parsed = parse_series_key(series_key("m", labels))
+        assert name == "m"
+        assert parsed == labels
+
+    def test_escaping_prevents_collisions(self):
+        # Without escaping both maps would format to m{a=1,b=2}.
+        assert (series_key("m", {"a": "1,b=2"})
+                != series_key("m", {"a": 1, "b": 2}))
+
+    def test_parse_bare_name(self):
+        assert parse_series_key("repro_x_total") == ("repro_x_total", {})
+
+    def test_parse_values_come_back_as_strings(self):
+        name, labels = parse_series_key(series_key("m", {"n": 7}))
+        assert labels == {"n": "7"}
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_series_key("m{unterminated")
+        with pytest.raises(ValueError):
+            parse_series_key("m{novalue}")
+
+    def test_key_cache_is_bounded(self):
+        for i in range(_KEY_CACHE_MAX + 64):
+            series_key("m", {"i": i})
+        assert len(_KEY_CACHE) <= _KEY_CACHE_MAX
+
+    def test_unhashable_label_values_skip_the_cache(self):
+        key = series_key("m", {"a": [1, 2]})
+        assert parse_series_key(key) == ("m", {"a": "[1, 2]"})
 
 
 class TestCounters:
@@ -54,6 +92,96 @@ class TestHistogram:
         b.observe(7)
         a.merge_dict(b.to_dict())
         assert a.to_dict() == b.to_dict()
+
+
+class TestCounterScratch:
+    def test_slot_adds_fold_into_counters(self):
+        reg = MetricsRegistry()
+        scratch = reg.counter_scratch()
+        read = scratch.slot("hits", op="read")
+        write = scratch.slot("hits", op="write")
+        scratch.slots[read] += 3
+        scratch.slots[write] += 2
+        scratch.slots[read] += 1
+        assert reg.counter_value("hits", op="read") == 4
+        assert reg.counter_value("hits", op="write") == 2
+
+    def test_fold_is_triggered_by_any_read(self):
+        reg = MetricsRegistry()
+        scratch = reg.counter_scratch()
+        idx = scratch.slot("c")
+        scratch.slots[idx] += 7
+        # No explicit fold_pending(): to_dict folds transparently.
+        assert reg.to_dict()["counters"] == {"c": 7}
+        assert scratch.slots[idx] == 0
+
+    def test_fold_is_idempotent(self):
+        reg = MetricsRegistry()
+        scratch = reg.counter_scratch()
+        idx = scratch.slot("c")
+        scratch.slots[idx] += 5
+        reg.fold_pending()
+        reg.fold_pending()
+        assert reg.counter_value("c") == 5
+
+    def test_scratch_composes_with_eager_inc(self):
+        reg = MetricsRegistry()
+        scratch = reg.counter_scratch()
+        idx = scratch.slot("c", op="read")
+        reg.inc("c", 10, op="read")
+        scratch.slots[idx] += 1
+        assert reg.counter_value("c", op="read") == 11
+
+    def test_fold_cycles_count_only_dirty_folds(self):
+        reg = MetricsRegistry()
+        scratch = reg.counter_scratch()
+        idx = scratch.slot("c")
+        reg.fold_pending()               # nothing pending: not a cycle
+        assert reg.fold_cycles == 0
+        scratch.slots[idx] += 1
+        reg.fold_pending()
+        reg.fold_pending()               # already clean again
+        assert reg.fold_cycles == 1
+
+
+class TestBoundHistogram:
+    def test_fold_matches_eager_observe(self):
+        values = [0, 1, 1, 2, 3, 7, 8, 9, 31, 32, 63]
+        eager = MetricsRegistry()
+        for v in values:
+            eager.observe("h", v, protocol="mesi")
+        deferred = MetricsRegistry()
+        bound = deferred.bound_histogram("h", max_value=63, protocol="mesi")
+        for v in values:
+            bound.counts[v] += 1
+        assert (json.dumps(deferred.to_dict(), sort_keys=True)
+                == json.dumps(eager.to_dict(), sort_keys=True))
+
+    def test_observe_grows_past_the_bound_in_place(self):
+        reg = MetricsRegistry()
+        bound = reg.bound_histogram("h", max_value=4)
+        counts = bound.counts          # hot closures bind the list directly
+        bound.observe(100)
+        assert counts is bound.counts  # grown in place, identity preserved
+        assert len(counts) >= 101
+        hist = reg.histograms()["h"]
+        assert (hist.count, hist.total, hist.min, hist.max) == (1, 100, 100, 100)
+
+    def test_zero_value_lands_in_bucket_zero(self):
+        reg = MetricsRegistry()
+        bound = reg.bound_histogram("h", max_value=8)
+        bound.counts[0] += 2
+        hist = reg.histograms()["h"]
+        assert hist.buckets == {0: 2}
+        assert (hist.min, hist.max) == (0, 0)
+
+    def test_fold_on_read_then_more_events(self):
+        reg = MetricsRegistry()
+        bound = reg.bound_histogram("h", max_value=8)
+        bound.counts[4] += 1
+        assert reg.histograms()["h"].count == 1
+        bound.counts[4] += 1
+        assert reg.histograms()["h"].count == 2
 
 
 class TestRegistryMerge:

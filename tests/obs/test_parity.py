@@ -120,3 +120,28 @@ class TestResolveObs:
     def test_session_passes_through(self):
         session = Observability(ObsConfig(enabled=True))
         assert resolve_obs(session) is session
+
+
+class TestEnvDefaults:
+    """Env-enabled obs burst-samples the ring; the constructor does not."""
+
+    def test_env_enabled_defaults_to_burst_sampling(self):
+        config = ObsConfig.from_env({"REPRO_OBS": "1"})
+        assert config.enabled
+        assert config.sample_every == 8
+        assert config.span_size == 4
+
+    def test_constructor_default_is_full_fidelity(self):
+        config = ObsConfig(enabled=True)
+        assert config.sample_every == 1
+        assert config.span_size == 1
+
+    def test_env_sample_one_restores_full_fidelity(self):
+        config = ObsConfig.from_env({"REPRO_OBS": "1", "REPRO_OBS_SAMPLE": "1"})
+        assert config.sample_every == 1
+
+    def test_env_overrides_respected(self):
+        config = ObsConfig.from_env(
+            {"REPRO_OBS": "1", "REPRO_OBS_SAMPLE": "16", "REPRO_OBS_SPAN": "2"})
+        assert config.sample_every == 16
+        assert config.span_size == 2

@@ -205,6 +205,13 @@ class TestGetMirrors:
         with urllib.request.urlopen(url + "/metrics", timeout=30.0) as resp:
             payload = json.loads(resp.read().decode("utf-8"))
         assert "counters" in payload
+        # The observability tax is itself observable: fold bookkeeping
+        # and the overhead ratio (fold seconds / uptime) are injected as
+        # synthetic counters on every dump.
+        counters = payload["counters"]
+        assert counters["repro_obs_fold_cycles_total"] >= 0
+        assert counters["repro_obs_fold_seconds_total"] >= 0
+        assert 0 <= counters["repro_obs_overhead_ratio"] < 1
 
     def test_get_unknown_page_404(self, live):
         _, _, url = live
