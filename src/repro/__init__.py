@@ -19,11 +19,15 @@ Quickstart::
 
 from repro.api import (
     PROTOCOL_NAMES,
+    BlobStore,
     CacheGeometry,
     ConfigError,
     ExperimentEngine,
     FaultPlan,
+    FsStore,
+    HttpStore,
     InvariantViolation,
+    LeaseBoard,
     L1Organization,
     L2Config,
     MemAccess,
@@ -40,6 +44,7 @@ from repro.api import (
     RunSpec,
     ServiceClient,
     SimulationError,
+    StoreError,
     SweepJournal,
     SweepService,
     SystemConfig,
@@ -47,6 +52,8 @@ from repro.api import (
     WORKLOADS,
     build_machine,
     build_streams,
+    configure_store,
+    get_store,
     get_workload,
     load_trace,
     parse_protocol,
@@ -68,11 +75,15 @@ from repro._version import package_version
 __version__ = package_version()
 
 __all__ = [
+    "BlobStore",
     "CacheGeometry",
     "ConfigError",
     "ExperimentEngine",
     "FaultPlan",
+    "FsStore",
+    "HttpStore",
     "InvariantViolation",
+    "LeaseBoard",
     "L1Organization",
     "L2Config",
     "MemAccess",
@@ -91,6 +102,7 @@ __all__ = [
     "ServiceClient",
     "SimulationError",
     "Simulator",
+    "StoreError",
     "SweepJournal",
     "SweepService",
     "SystemConfig",
@@ -100,6 +112,8 @@ __all__ = [
     "build_machine",
     "build_protocol",
     "build_streams",
+    "configure_store",
+    "get_store",
     "get_workload",
     "load_trace",
     "parse_protocol",

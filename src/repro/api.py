@@ -30,8 +30,15 @@ Layers
 * observability — :class:`ObsConfig` / :class:`Observability`
   (see docs/observability.md), off by default and zero-cost when off;
 * resilience — :class:`RetryPolicy` (engine retry/backoff/degradation),
-  :class:`SweepJournal` (crash-resume), :class:`FaultPlan`
-  (``REPRO_FAULTS`` chaos testing); see docs/resilience.md;
+  :class:`SweepJournal` (crash-resume), :class:`LeaseBoard` (multi-host
+  work division), :class:`FaultPlan` (``REPRO_FAULTS`` chaos testing);
+  see docs/resilience.md;
+* storage — the :class:`BlobStore` interface with its :class:`FsStore`
+  / :class:`HttpStore` backends and :func:`configure_store`, which
+  points every cache this process builds (and every pool worker it
+  forks) at one store URL; see docs/distributed.md.  The ``root`` path
+  arguments of :class:`ResultCache` / ``TraceCache`` are deprecated
+  shims over an :class:`FsStore`;
 * the sweep service — :func:`serve` runs the HTTP/JSON-RPC front end
   with its durable job queue, :class:`ServiceClient` talks to one
   (``client.sweep(specs)`` is the remote equivalent of :func:`sweep`);
@@ -65,9 +72,17 @@ from repro.common.params import (
 )
 from repro.experiments._engine import ExperimentEngine, ResultCache, RunSpec
 from repro.obs import ObsConfig, Observability
-from repro.resilience import FaultPlan, RetryPolicy, SweepJournal
+from repro.resilience import FaultPlan, LeaseBoard, RetryPolicy, SweepJournal
 from repro.service.app import SweepService, serve
 from repro.service.client import ServiceClient
+from repro.store import (
+    BlobStore,
+    FsStore,
+    HttpStore,
+    StoreError,
+    configure_store,
+    get_store,
+)
 from repro.system.machine import build_protocol, simulate
 from repro.system.results import RunResult
 from repro.trace.analysis import TraceProfile, profile_streams
@@ -238,8 +253,16 @@ __all__ = [
     "Observability",
     # resilience (fault injection, retries, crash-resume)
     "FaultPlan",
+    "LeaseBoard",
     "RetryPolicy",
     "SweepJournal",
+    # blob storage (docs/distributed.md)
+    "BlobStore",
+    "FsStore",
+    "HttpStore",
+    "StoreError",
+    "configure_store",
+    "get_store",
     # the sweep service (docs/service.md)
     "ServiceClient",
     "SweepService",

@@ -25,12 +25,16 @@ Commands
 ``jobs``      list/inspect/cancel jobs on a running service
 
 Every subcommand shares one option vocabulary (``--jobs``, ``--seed``,
-``--protocol``, ``--trace-dir``) via a common parent parser, so flags
-mean the same thing everywhere.  ``report`` and ``bench`` run through the
-parallel experiment engine: ``REPRO_JOBS`` sizes the worker pool and
-``REPRO_CACHE_DIR`` locates the persistent result cache (see
-docs/performance.md); ``--trace-dir`` / ``REPRO_TRACE_CACHE_DIR`` locate
-the packed trace cache.
+``--protocol``, ``--store``, ``--trace-dir``) via a common parent
+parser, so flags mean the same thing everywhere.  ``report`` and
+``bench`` run through the parallel experiment engine: ``REPRO_JOBS``
+sizes the worker pool and ``--store`` / ``REPRO_STORE`` names the blob
+store holding the result and trace caches — ``file:///path`` (or a bare
+path) for a local tree, ``http://host:port`` for a running ``repro
+serve`` shared by a fleet (docs/distributed.md).  The older
+``REPRO_CACHE_DIR`` / ``REPRO_TRACE_CACHE_DIR`` variables and
+``--trace-dir`` remain as deprecated aliases locating the default
+``file://`` store.
 """
 
 from __future__ import annotations
@@ -88,9 +92,16 @@ def _common_parent() -> argparse.ArgumentParser:
     parent.add_argument("--protocol", default="",
                         help="protocol: mesi, sw, sw+mr, mw "
                              "(commands choose their own default)")
+    parent.add_argument("--store", default="",
+                        help="blob store for result/trace caches: "
+                             "file:///path, a bare path, or http://host:port "
+                             "of a running 'repro serve' (overrides "
+                             "REPRO_STORE; supersedes the deprecated "
+                             "REPRO_CACHE_DIR/REPRO_TRACE_CACHE_DIR)")
     parent.add_argument("--trace-dir", default="",
                         help="packed trace cache directory "
-                             "(overrides REPRO_TRACE_CACHE_DIR)")
+                             "(overrides REPRO_TRACE_CACHE_DIR; deprecated "
+                             "in favour of --store)")
     parent.add_argument("--batch", action=argparse.BooleanOptionalAction,
                         default=None,
                         help="batched packed-trace execution (--no-batch "
@@ -107,6 +118,14 @@ def _apply_common(args) -> Optional[int]:
     agrees on the worker count and trace cache location.  Returns the
     explicit job count, if one was given.
     """
+    if getattr(args, "store", ""):
+        from repro.store import StoreError, configure_store
+
+        try:
+            # Exported as REPRO_STORE so engines and pool workers agree.
+            configure_store(args.store)
+        except StoreError as exc:
+            raise SystemExit(f"--store: {exc}")
     if getattr(args, "trace_dir", ""):
         os.environ["REPRO_TRACE_CACHE_DIR"] = args.trace_dir
     batch = getattr(args, "batch", None)
@@ -236,13 +255,23 @@ def cmd_report(args) -> int:
         default_settings,
     )
 
+    from repro.resilience.lease import LeaseBoard, lease_dir_for
+
     jobs = _apply_common(args)
     settings = ExperimentSettings(cores=args.cores, per_core=args.scale,
                                   seed=args.seed,
                                   workloads=default_settings().workloads)
     journal = _resolve_journal(args)
+    # A journal makes the sweep shareable: concurrent `repro report
+    # --journal <same path>` processes lease specs from a claim
+    # directory beside the journal and divide the matrix between them
+    # (docs/distributed.md).  Single-process runs pay one tiny claim
+    # file per spec for the same bytes.
+    lease = (LeaseBoard(lease_dir_for(journal.path))
+             if journal is not None else None)
     engine = ExperimentEngine(jobs=jobs, journal=journal) if jobs \
         else ExperimentEngine(journal=journal)
+    engine.lease = lease
     try:
         matrix = ResultMatrix(settings, engine=engine)
         if args.out:
@@ -251,7 +280,15 @@ def cmd_report(args) -> int:
             print(f"report written to {args.out}")
         else:
             write_report(matrix)
+        if lease is not None:
+            print(f"sweep shared via {journal.path}: "
+                  f"{engine.executed} run(s) computed here, "
+                  f"{engine.absorbed} absorbed from other workers, "
+                  f"{lease.takeovers} lease takeover(s)",
+                  file=sys.stderr)
     finally:
+        if lease is not None:
+            lease.release_all()
         engine.close()
         if journal is not None:
             journal.close()
@@ -519,12 +556,20 @@ def cmd_doctor(args) -> int:
     from repro.resilience.doctor import run_doctor
 
     _apply_common(args)
+    store = None
+    if args.store:
+        # Audit through the store interface — same checks, any backend,
+        # including a remote `repro serve` (--store http://host:port).
+        from repro.store import get_store
+
+        store = get_store()
     report = run_doctor(
         result_root=Path(args.cache_dir) if args.cache_dir else None,
         trace_root=Path(args.trace_dir) if args.trace_dir else None,
         fix=args.fix,
         prune_older_than_days=(args.prune_older_than
                                if args.prune_older_than > 0 else None),
+        store=store,
     )
     print(report.render())
     return 0 if report.ok else 1

@@ -53,6 +53,7 @@ import json
 import hashlib
 import os
 import time
+import warnings
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -64,9 +65,11 @@ from repro.common.params import ProtocolKind, SystemConfig
 from repro.obs.metrics import MetricsRegistry, process_registry
 from repro.resilience.faults import SITE_CACHE_CORRUPT, get_injector
 from repro.resilience.journal import SweepJournal
+from repro.resilience.lease import LeaseBoard
 from repro.resilience.log import warn as resilience_warn
 from repro.resilience.retry import RetryPolicy
-from repro.resilience.storage import durable_replace, quarantine_file
+from repro.store import NAMESPACE_RESULTS, BlobStore, FsStore, get_store
+from repro.store.fs import default_result_root
 from repro.system.machine import simulate
 from repro.system.results import RunResult
 from repro.trace._cache import packed_streams, trace_cache_dir
@@ -149,18 +152,22 @@ def _serialize_result(result: RunResult) -> str:
     return json.dumps(result.to_dict(), separators=(",", ":"))
 
 
-def _pool_init(trace_dir: str, batch_env: str = "") -> None:
+def _pool_init(trace_dir: str, batch_env: str = "",
+               store_env: str = "") -> None:
     """Worker initializer: pin the trace cache, pre-import the machine.
 
     Runs once per worker process (not per task), so spawn-started pools
-    agree with the parent on trace-cache location, batched-execution
-    choice (``REPRO_BATCH``, set by ``--batch/--no-batch``), and every
-    heavy import is paid before the first task arrives.
+    agree with the parent on trace-cache location, blob-store choice
+    (``REPRO_STORE``, set by ``--store``), batched-execution choice
+    (``REPRO_BATCH``, set by ``--batch/--no-batch``), and every heavy
+    import is paid before the first task arrives.
     """
     if trace_dir:
         os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
     if batch_env:
         os.environ["REPRO_BATCH"] = batch_env
+    if store_env:
+        os.environ["REPRO_STORE"] = store_env
     import repro.system.machine  # noqa: F401
 
 
@@ -184,10 +191,7 @@ def _worker_run_chunk(payloads: List[Dict]) -> List[str]:
 
 
 def default_cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR", "")
-    if env:
-        return Path(env)
-    return Path(os.path.expanduser("~")) / ".cache" / "repro"
+    return default_result_root()
 
 
 def cache_enabled() -> bool:
@@ -208,39 +212,77 @@ def default_jobs() -> int:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of serialized run results.
+    """Content-addressed store of serialized run results.
 
-    Reads distinguish *absent* (a plain miss) from *corrupt* (the file
-    exists but does not parse back into a ``RunResult``): corrupt blobs
-    move into ``quarantine/`` beside the cache root — never silently
-    deleted — and the miss triggers a fresh run that rewrites the entry.
-    Writes are crash-atomic: same-directory temp file, fsync, rename
-    (:func:`repro.resilience.storage.durable_replace`), so a mid-write
-    kill can never leave a half-written blob behind.
+    The cache's only policy is *meaning*: it knows a result blob must
+    parse back into a :class:`~repro.system.results.RunResult` and keys
+    blobs as ``results/<digest>.json``.  Durability, atomicity, and
+    location all belong to the pluggable :class:`~repro.store.BlobStore`
+    it sits on (local ``FsStore`` tree or a shared ``HttpStore`` — see
+    docs/distributed.md); by default it follows :func:`repro.store.get_store`
+    per call, so ``--store`` / ``REPRO_STORE`` and the hermetic test
+    fixtures all take effect without plumbing.
+
+    Reads distinguish *absent* (a plain miss) from *corrupt* (the blob
+    exists but does not parse): corrupt blobs quarantine through the
+    store — never silently deleted — and the miss triggers a fresh run
+    that rewrites the entry.  ``REPRO_CACHE=0`` disables it.
+
+    .. deprecated::
+        The ``root`` path argument is a compatibility shim that pins an
+        :class:`~repro.store.FsStore` at that path; pass ``store=``
+        (or call :func:`repro.store.configure_store`) instead.
     """
 
-    def __init__(self, root: Optional[Path] = None, enabled: Optional[bool] = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
+    def __init__(self, root: Optional[Path] = None,
+                 enabled: Optional[bool] = None,
+                 store: Optional[BlobStore] = None):
+        if root is not None:
+            if store is not None:
+                raise TypeError("pass either root= (deprecated) or store=, "
+                                "not both")
+            warnings.warn(
+                "ResultCache(root=...) is deprecated; pass "
+                "store=FsStore(root) or configure_store(...)",
+                DeprecationWarning, stacklevel=2)
+            store = FsStore(Path(root))
+        self._store = store
         self.enabled = cache_enabled() if enabled is None else enabled
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
 
-    def path_for(self, spec: RunSpec) -> Path:
-        digest = spec.digest()
-        return self.root / digest[:2] / f"{digest}.json"
+    @property
+    def store(self) -> BlobStore:
+        """The backend in effect (pinned at construction, else the
+        process-wide :func:`repro.store.get_store` resolved per use)."""
+        return self._store if self._store is not None else get_store()
+
+    @property
+    def root(self) -> Optional[Path]:
+        """The local cache root, when the backend has one (legacy)."""
+        return getattr(self.store, "root", None)
+
+    @staticmethod
+    def key_for(spec: RunSpec) -> str:
+        return f"{NAMESPACE_RESULTS}/{spec.digest()}.json"
+
+    def path_for(self, spec: RunSpec) -> Optional[Path]:
+        """Local blob path (``None`` on a remote store)."""
+        return self.store.local_path(self.key_for(spec))
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         if not self.enabled:
             return None
-        path = self.path_for(spec)
+        store = self.store
+        key = self.key_for(spec)
         injector = get_injector()
         if injector is not None:
-            injector.maybe_corrupt(SITE_CACHE_CORRUPT, path)
-        try:
-            with open(path, "rb") as fh:
-                raw = fh.read()
-        except OSError:
+            path = store.local_path(key)
+            if path is not None:
+                injector.maybe_corrupt(SITE_CACHE_CORRUPT, path)
+        raw = store.get(key)
+        if raw is None:
             self.misses += 1
             return None
         try:
@@ -251,13 +293,12 @@ class ResultCache:
             # The entry exists but is damaged: preserve the evidence in
             # quarantine and treat it as a miss (the rerun rewrites it).
             self.quarantined += 1
-            quarantined = quarantine_file(
-                self.root, path, f"{type(exc).__name__}: {exc}")
+            quarantined = store.quarantine(key, f"{type(exc).__name__}: {exc}")
             resilience_warn(
                 "result-cache-corrupt",
-                f"unreadable result blob {path.name}",
+                f"unreadable result blob {key}",
                 cache="result", error=str(exc),
-                quarantined=str(quarantined) if quarantined else "FAILED")
+                quarantined=quarantined if quarantined else "FAILED")
             self.misses += 1
             return None
         self.hits += 1
@@ -266,13 +307,13 @@ class ResultCache:
     def put(self, spec: RunSpec, result: RunResult) -> None:
         if not self.enabled:
             return
-        durable_replace(self.path_for(spec), _serialize_result(result))
+        self.store.put(self.key_for(spec), _serialize_result(result))
 
     def put_blob(self, spec: RunSpec, blob: str) -> None:
         """Store an already-serialized result verbatim (the pool path)."""
         if not self.enabled:
             return
-        durable_replace(self.path_for(spec), blob)
+        self.store.put(self.key_for(spec), blob)
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -306,12 +347,15 @@ class ExperimentEngine:
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  retry: Optional[RetryPolicy] = None,
-                 journal: Optional[SweepJournal] = None):
+                 journal: Optional[SweepJournal] = None,
+                 lease: Optional[LeaseBoard] = None):
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = cache if cache is not None else ResultCache()
         self.retry = retry if retry is not None else RetryPolicy.from_env()
         self.journal = journal
+        self.lease = lease
         self.executed = 0  # specs actually simulated (cache misses)
+        self.absorbed = 0  # sharded mode: results computed by teammates
         self.pool_rebuilds = 0
         self.degraded = False  # pool gave up; everything runs serial now
         # Session-level aggregation of per-run metric dumps (repro.obs).
@@ -335,7 +379,8 @@ class ExperimentEngine:
                 max_workers=self.jobs,
                 initializer=_pool_init,
                 initargs=(str(trace_cache_dir()),
-                          os.environ.get("REPRO_BATCH", "")),
+                          os.environ.get("REPRO_BATCH", ""),
+                          os.environ.get("REPRO_STORE", "")),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool)
@@ -421,7 +466,18 @@ class ExperimentEngine:
         land in the result cache byte-for-byte.  Worker failures are
         retried and, past the retry policy's limits, served serially —
         the returned dict always covers every spec.
+
+        With a :class:`LeaseBoard` attached (multi-host sweeps), the
+        work is additionally divided with every other process sharing
+        the same journal + store — see :meth:`run_sharded`.
         """
+        if (self.lease is not None and self.journal is not None
+                and self.cache.enabled):
+            return self.run_sharded(specs)
+        return self._run_many_local(specs)
+
+    def _run_many_local(self,
+                        specs: Iterable[RunSpec]) -> Dict[RunSpec, RunResult]:
         out: Dict[RunSpec, RunResult] = {}
         todo: List[RunSpec] = []
         pending = set()
@@ -535,3 +591,96 @@ class ExperimentEngine:
         if broken:
             self._rebuild_pool("worker-death" if worker_died else "stall")
         return failed
+
+    # -- sharded (multi-process) runs ------------------------------------------
+
+    def run_sharded(self, specs: Iterable[RunSpec]) -> Dict[RunSpec, RunResult]:
+        """Serve every spec while *other worker processes* share the work.
+
+        Requires an attached journal and :class:`LeaseBoard` (and an
+        enabled cache — the shared store is how teammates' results reach
+        us); without all three this is plain :meth:`run_many`.  Each
+        worker loops: absorb completions teammates journaled
+        (:meth:`SweepJournal.refresh`, results fetched from the shared
+        store), lease a batch of unclaimed specs (at most one fan-out's
+        worth, so leases stay short-lived), run it through the normal
+        cache/retry/journal machinery, release the leases.  Specs every
+        worker sees claimed elsewhere are simply waited on.  Workers
+        start their claim scan at different points of the digest-sorted
+        order (rotated by a hash of the lease owner id) so concurrent
+        workers mostly lease disjoint batches instead of racing on every
+        file.  The returned dict always covers every requested spec —
+        simulations are deterministic, so who computed a cell never
+        shows in the bytes.
+        """
+        if self.journal is None or self.lease is None or not self.cache.enabled:
+            return self._run_many_local(specs)
+        ordered: List[RunSpec] = []
+        by_digest: Dict[str, RunSpec] = {}
+        for spec in specs:
+            digest = spec.digest()
+            if digest not in by_digest:
+                by_digest[digest] = spec
+                ordered.append(spec)
+        digests = sorted(by_digest)
+        if digests:
+            start = int(hashlib.sha256(
+                self.lease.owner.encode("utf-8")).hexdigest(), 16) % len(digests)
+            digests = digests[start:] + digests[:start]
+        out: Dict[RunSpec, RunResult] = {}
+        done: set = set()
+        batch_cap = max(1, self.jobs * _CHUNKS_PER_WORKER)
+        while len(done) < len(by_digest):
+            progress = self._absorb_journaled(by_digest, done, out)
+            batch: List[RunSpec] = []
+            for digest in digests:
+                if len(batch) >= batch_cap:
+                    break
+                if digest in done or digest in self.journal:
+                    continue
+                if self.lease.try_claim(digest):
+                    batch.append(by_digest[digest])
+            if batch:
+                progress = True
+                self.metrics.inc("repro_engine_shard_claims_total", len(batch))
+                try:
+                    results = self._run_many_local(batch)
+                finally:
+                    for spec in batch:
+                        self.lease.release(spec.digest())
+                for spec, result in results.items():
+                    out[spec] = result
+                    done.add(spec.digest())
+            if not progress:
+                # Everything left is leased to live teammates: wait for
+                # their journal lines (or for a lease to expire).
+                time.sleep(self.lease.poll_s)
+        return {spec: out[spec] for spec in ordered}
+
+    def _absorb_journaled(self, by_digest: Dict[str, RunSpec], done: set,
+                          out: Dict[RunSpec, RunResult]) -> bool:
+        """Fold in results whose completion some process journaled.
+
+        Results are published to the store *before* the journal line is
+        appended, so a journaled digest is normally fetchable; if the
+        blob was since damaged or quarantined, recompute locally — the
+        deterministic rerun rewrites identical bytes.
+        """
+        self.journal.refresh()
+        progress = False
+        for digest in self.journal.completed():
+            if digest in done or digest not in by_digest:
+                continue
+            spec = by_digest[digest]
+            result = self.cache.get(spec)
+            if result is None:
+                result = execute_spec(spec)
+                self.executed += 1
+                self.cache.put(spec, result)
+            else:
+                self.absorbed += 1
+                self.metrics.inc("repro_engine_shard_absorbed_total")
+            out[spec] = self._absorb_metrics(result)
+            done.add(digest)
+            progress = True
+        return progress

@@ -74,6 +74,7 @@ from repro.experiments._engine import (
     execute_spec,
 )
 from repro.experiments.runner import ALL_PROTOCOLS
+from repro.store import FsStore
 from repro.trace._cache import TraceCache
 
 BENCH_SCHEMA = 5
@@ -130,7 +131,8 @@ def time_sweep(specs: List[RunSpec], jobs: int, cache_root: Path,
     for crash-resume (``repro bench --journal/--resume``).
     """
     engine = ExperimentEngine(jobs=jobs,
-                              cache=ResultCache(cache_root, enabled=True),
+                              cache=ResultCache(store=FsStore(cache_root),
+                                                enabled=True),
                               journal=journal)
     try:
         pool_start = time.perf_counter()

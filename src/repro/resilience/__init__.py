@@ -46,6 +46,7 @@ from repro.resilience.faults import (
     reset_injector,
 )
 from repro.resilience.journal import SweepJournal
+from repro.resilience.lease import LeaseBoard, default_lease_ttl, lease_dir_for
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.storage import (
     durable_replace,
@@ -59,6 +60,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "LeaseBoard",
     "RetryPolicy",
     "SITE_CACHE_CORRUPT",
     "SITE_TASK_STALL",
@@ -67,8 +69,10 @@ __all__ = [
     "SITE_WORKER_KILL",
     "SweepJournal",
     "TransientFault",
+    "default_lease_ttl",
     "durable_replace",
     "get_injector",
+    "lease_dir_for",
     "quarantine_dir",
     "quarantine_file",
     "read_quarantine_manifest",

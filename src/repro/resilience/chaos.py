@@ -80,6 +80,7 @@ def run_chaos(faults: str = "",
     )
     from repro.experiments.bench import matrix_specs
     from repro.resilience.doctor import check_result_cache, check_trace_cache
+    from repro.store import FsStore
 
     plan = FaultPlan.parse(faults or DEFAULT_FAULTS).with_seed(seed)
     # Worker-side faults need actual workers.
@@ -102,7 +103,8 @@ def run_chaos(faults: str = "",
         # Phase 1: the fault-free reference sweep.
         with ExperimentEngine(
                 jobs=jobs,
-                cache=ResultCache(scratch / "baseline", enabled=True)) as engine:
+                cache=ResultCache(store=FsStore(scratch / "baseline"),
+                                  enabled=True)) as engine:
             baseline = matrix_json(engine.run_many(specs))
 
         # Phase 2: the same sweep under the armed fault plan.
@@ -113,7 +115,8 @@ def run_chaos(faults: str = "",
         journal = SweepJournal(scratch / "journal.jsonl")
         policy = RetryPolicy(max_retries=retries, backoff_base_s=0.01,
                              timeout_s=timeout_s, seed=seed)
-        faulted_cache = ResultCache(scratch / "faulted", enabled=True)
+        faulted_cache = ResultCache(store=FsStore(scratch / "faulted"),
+                                    enabled=True)
         with ExperimentEngine(jobs=jobs, cache=faulted_cache,
                               retry=policy, journal=journal) as engine:
             engine.run_many(specs)          # cold: worker faults fire

@@ -17,6 +17,17 @@ corrupt entries into quarantine (never plain deletion of a payload).
 The process exits nonzero when any check fails, which makes the command
 usable as a CI/cron health probe.
 
+The audit has two equivalent front doors:
+
+* the historical **path-based** functions (``check_result_cache(root)``,
+  ``check_trace_cache(root)``, ``prune_cache(root, ...)``) that walk a
+  local directory tree directly;
+* the **store-based** functions (``check_result_store(store)``,
+  ``check_trace_store(store)``, ``prune_store(store, ...)``) that audit
+  through the :class:`repro.store.BlobStore` interface — so ``repro
+  doctor --store http://host:port`` inspects, quarantines, and prunes a
+  remote shared store with exactly the same checks as a local one.
+
 ``--prune-older-than DAYS`` adds garbage collection: cache entries whose
 last write is older than the cutoff are evicted so a long-running
 service's cache directory stays bounded.  Every eviction is logged to
@@ -308,15 +319,228 @@ def prune_cache(root: Path, suffix: str, older_than_days: float,
     return check
 
 
+# -- store-based audit (any BlobStore backend) -------------------------------
+
+def _check_store_orphans(store, namespace: str, label: str,
+                         fix: bool) -> CheckResult:
+    check = CheckResult(f"{label}: orphaned temp files")
+    orphans = store.orphans(namespace)
+    if not orphans:
+        check.note("none")
+        return check
+    for name in orphans:
+        if fix:
+            if store.remove_orphan(namespace, name):
+                check.note(f"removed {name}")
+            else:
+                check.fail(f"could not remove {name}")
+        else:
+            check.fail(f"{name} (interrupted writer; --fix removes it)")
+    return check
+
+
+def _check_store_quarantine(store, namespace: str, label: str) -> CheckResult:
+    check = CheckResult(f"{label}: quarantine inventory")
+    inventory = store.quarantine_inventory(namespace)
+    files = inventory.get("files", [])
+    entries = inventory.get("manifest", [])
+    if not files and not entries:
+        check.note("empty")
+        return check
+    check.note(f"{len(files)} quarantined blob(s), "
+               f"{len(entries)} manifest entr(ies)")
+    for name in files:
+        reason = next((entry.get("reason", "?") for entry in entries
+                       if entry.get("file") == name), None)
+        check.note(f"{name}: no manifest entry" if reason is None
+                   else f"{name}: {reason}")
+    for name in sorted({entry.get("file") for entry in entries} - set(files)):
+        if name:
+            check.note(f"{name}: listed in manifest but blob is gone")
+    return check
+
+
+def _check_store_layout(store, namespace: str, label: str,
+                        fix: bool) -> CheckResult:
+    check = CheckResult(f"{label}: layout")
+    problems = store.structural_check(namespace, fix=fix)
+    if not problems:
+        check.note("clean")
+        return check
+    for problem in problems:
+        if fix:
+            check.note(problem)
+            if "FAILED" in problem:
+                check.ok = False
+        else:
+            check.fail(problem)
+    return check
+
+
+def _check_store_entries(store, namespace: str, suffix: str, label: str,
+                         title: str, fix: bool, parse) -> CheckResult:
+    """Shared entry-integrity walk: every payload blob must ``parse``.
+
+    ``parse(key, raw_or_path)`` raises on damage; it receives the local
+    path when the backend has one (mmap/verify fast path) and the raw
+    bytes otherwise.
+    """
+    check = CheckResult(f"{label}: {title}")
+    keys = [k for k in store.list(f"{namespace}/") if k.endswith(suffix)]
+    good = 0
+    for key in keys:
+        name = key.split("/", 1)[1]
+        problem = None
+        path = store.local_path(key)
+        try:
+            if path is not None:
+                parse(key, path)
+            else:
+                raw = store.get(key)
+                if raw is None:
+                    continue  # evicted between list and read
+                parse(key, raw)
+        except Exception as exc:  # noqa: BLE001 — any damage quarantines
+            problem = (str(exc) if isinstance(exc, _VerifyFailure)
+                       else f"{type(exc).__name__}: {exc}")
+        if problem is None:
+            good += 1
+            continue
+        if fix:
+            moved = store.quarantine(key, problem)
+            check.note(f"{name}: {problem} -> quarantined"
+                       if moved else f"{name}: {problem} (quarantine FAILED)")
+            if moved is None:
+                check.ok = False
+        else:
+            check.fail(f"{name}: {problem}")
+    check.note(f"{good}/{len(keys)} entries verified")
+    return check
+
+
+class _VerifyFailure(Exception):
+    """Carries a verify_file reason without exception-name prefixing."""
+
+
+def check_result_store(store, fix: bool = False) -> List[CheckResult]:
+    """The result-cache audit, through the store interface."""
+    from repro.system.results import RunResult
+
+    def parse(key, src):
+        raw = src.read_bytes() if isinstance(src, Path) else src
+        RunResult.from_dict(json.loads(raw.decode("utf-8")))
+
+    label = f"result store {store.url()}"
+    return [
+        _check_store_entries(store, "results", ".json", label,
+                             "entry integrity", fix, parse),
+        _check_store_layout(store, "results", label, fix),
+        _check_store_orphans(store, "results", label, fix),
+        _check_store_quarantine(store, "results", label),
+    ]
+
+
+def check_trace_store(store, fix: bool = False) -> List[CheckResult]:
+    """The packed-trace audit, through the store interface."""
+    from repro.trace.packed import PackedTrace, verify_file
+
+    def parse(key, src):
+        if isinstance(src, Path):
+            ok, reason = verify_file(src)
+            if not ok:
+                raise _VerifyFailure(reason)
+        else:
+            PackedTrace.loads(src)
+
+    label = f"trace store {store.url()}"
+    return [
+        _check_store_entries(store, "traces", ".bin", label,
+                             "packed-trace integrity", fix, parse),
+        _check_store_layout(store, "traces", label, fix),
+        _check_store_orphans(store, "traces", label, fix),
+        _check_store_quarantine(store, "traces", label),
+    ]
+
+
+def prune_store(store, namespace: str, suffix: str, older_than_days: float,
+                label: str, now: Optional[float] = None) -> CheckResult:
+    """:func:`prune_cache` through the store interface.
+
+    Same contract: only payload blobs are candidates, quarantine is
+    untouchable, and every eviction lands in the namespace's GC
+    manifest *before* the delete.
+    """
+    check = CheckResult(
+        f"{label}: GC (older than {older_than_days:g} day(s))")
+    now = time.time() if now is None else now
+    cutoff = now - older_than_days * 86400.0
+    pruned = kept = freed = 0
+    for key in store.list(f"{namespace}/"):
+        if not key.endswith(suffix):
+            continue
+        stat = store.stat(key)
+        if stat is None:
+            continue  # a concurrent writer/GC got there first
+        if stat.mtime >= cutoff:
+            kept += 1
+            continue
+        name = key.split("/", 1)[1]
+        store.gc_log(namespace, {
+            "file": f"{name[:2]}/{name}",
+            "bytes": stat.size,
+            "mtime": stat.mtime,
+            "age_days": round((now - stat.mtime) / 86400.0, 3),
+            "pruned_at": now,
+            "pid": os.getpid(),
+        })
+        if not store.delete(key):
+            check.fail(f"could not evict {name}")
+            continue
+        pruned += 1
+        freed += stat.size
+    check.note(f"{pruned} entr(ies) evicted ({freed} B freed), {kept} kept")
+    if pruned:
+        check.note(f"evictions logged to the {namespace} GC manifest")
+    return check
+
+
+def run_store_doctor(store, fix: bool = False,
+                     prune_older_than_days: Optional[float] = None
+                     ) -> DoctorReport:
+    """Audit one blob store (local or remote) — the ``--store`` path."""
+    report = DoctorReport()
+    if prune_older_than_days is not None:
+        report.checks.append(prune_store(
+            store, "results", ".json", prune_older_than_days,
+            f"result store {store.url()}"))
+        report.checks.append(prune_store(
+            store, "traces", ".bin", prune_older_than_days,
+            f"trace store {store.url()}"))
+    report.checks.extend(check_result_store(store, fix=fix))
+    report.checks.extend(check_trace_store(store, fix=fix))
+    if not report.ok:
+        resilience_warn("doctor-problems",
+                        "store integrity audit found problems",
+                        failed=sum(1 for c in report.checks if not c.ok))
+    return report
+
+
 def run_doctor(result_root: Optional[Path] = None,
                trace_root: Optional[Path] = None,
                fix: bool = False,
-               prune_older_than_days: Optional[float] = None) -> DoctorReport:
+               prune_older_than_days: Optional[float] = None,
+               store=None) -> DoctorReport:
     """Audit both caches; defaults to the live environment-derived roots.
 
     With ``prune_older_than_days`` set, garbage-collect entries older
     than the cutoff first (manifest-logged), then audit what remains.
+    With ``store`` set (a :class:`repro.store.BlobStore`), audit through
+    the store interface instead of walking paths — identical checks,
+    any backend.
     """
+    if store is not None:
+        return run_store_doctor(store, fix=fix,
+                                prune_older_than_days=prune_older_than_days)
     from repro.experiments._engine import default_cache_dir
     from repro.trace._cache import trace_cache_dir
 

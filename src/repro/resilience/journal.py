@@ -12,6 +12,15 @@ hits and the report comes out identical).
 The journal is *append-only* and idempotent: recording an
 already-recorded digest is a no-op, so resumed sweeps never duplicate
 lines.
+
+Several worker processes may append to one journal concurrently (the
+multi-host sweep mode in :mod:`repro.experiments._engine` pairs the
+journal with a :class:`~repro.resilience.lease.LeaseBoard`): each line
+is a single small O_APPEND write, so lines from different workers never
+interleave, and :meth:`SweepJournal.refresh` picks up teammates' newly
+appended completions by re-reading only the bytes past the last offset
+this process consumed — whole lines only, so a torn tail is simply left
+for the next refresh.
 """
 
 from __future__ import annotations
@@ -29,27 +38,45 @@ class SweepJournal:
         self.path = Path(path)
         self._completed: Set[str] = set()
         self._fh = None
+        self._offset = 0       # bytes of the file already consumed
         self.recorded = 0      # lines appended by this process
         self.resumed = 0       # digests loaded from a pre-existing file
-        self._load()
-
-    def _load(self) -> None:
-        try:
-            fh = open(self.path, encoding="utf-8")
-        except OSError:
-            return
-        with fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                    digest = entry["digest"]
-                except (ValueError, KeyError, TypeError):
-                    continue  # torn final line from a killed writer
-                self._completed.add(digest)
+        self._consume_new()
         self.resumed = len(self._completed)
+
+    def _consume_new(self) -> int:
+        """Absorb complete lines appended past our offset; returns how
+        many digests were new to this process."""
+        try:
+            fh = open(self.path, "rb")
+        except OSError:
+            return 0
+        fresh = 0
+        with fh:
+            fh.seek(self._offset)
+            data = fh.read()
+        end = data.rfind(b"\n") + 1
+        if end == 0:
+            return 0  # nothing but a torn tail; retry next refresh
+        for line in data[:end].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line.decode("utf-8"))
+                digest = entry["digest"]
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                continue  # damaged line from a killed writer
+            if digest not in self._completed:
+                self._completed.add(digest)
+                fresh += 1
+        self._offset += end
+        return fresh
+
+    def refresh(self) -> int:
+        """Pick up completions other processes appended since the last
+        read; returns the number of newly visible digests."""
+        return self._consume_new()
 
     # -- querying ------------------------------------------------------------
 

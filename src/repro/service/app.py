@@ -59,6 +59,7 @@ from repro.service.rpc import (
     ServiceError,
     make_server,
 )
+from repro.store import FsStore, get_store
 from repro.system.results import RunResult
 from repro.trace.workloads import WORKLOADS
 
@@ -143,8 +144,11 @@ class SweepService:
         self.state_dir = (Path(state_dir) if state_dir is not None
                           else service_state_dir())
         self.engine = engine if engine is not None else ExperimentEngine(
-            jobs=jobs, cache=ResultCache())
+            jobs=jobs, cache=ResultCache(store=get_store()))
         self.cache = self.engine.cache
+        # Pinned once: the blob surface the /blob endpoints and store_*
+        # RPC methods serve must not drift with later env changes.
+        self.store = self.cache.store
         queue_kwargs = ({} if default_ttl_s is None
                         else {"default_ttl_s": default_ttl_s})
         self.queue = JobQueue(self.state_dir, **queue_kwargs)
@@ -310,6 +314,34 @@ class SweepService:
             fold_seconds / uptime, 9)
         return dump
 
+    # -- blob-store surface (the data plane behind /blob/<key>) --------------
+    #
+    # Keys reach these pre-validated by the RPC layer.  The counters are
+    # the fleet's shared-cache scoreboard: repro_service_blob_hits_total
+    # counting > 0 is how the distributed smoke test proves two workers
+    # actually shared one warm store.
+
+    def blob_get(self, key: str) -> Optional[bytes]:
+        data = self.store.get(key)
+        if data is None:
+            self.metrics.inc("repro_service_blob_misses_total")
+        else:
+            self.metrics.inc("repro_service_blob_hits_total")
+        return data
+
+    def blob_put(self, key: str, data: bytes) -> None:
+        self.store.put(key, data)
+        self.metrics.inc("repro_service_blob_puts_total")
+
+    def blob_stat(self, key: str):
+        return self.store.stat(key)
+
+    def blob_delete(self, key: str) -> bool:
+        removed = self.store.delete(key)
+        if removed:
+            self.metrics.inc("repro_service_blob_deletes_total")
+        return removed
+
     # -- execution -----------------------------------------------------------
 
     def process_next(self) -> bool:
@@ -416,7 +448,17 @@ def serve(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
     HTTP server, drains the in-flight job, and shuts the engine pool
     down cleanly; a SIGKILL instead is survivable by design — the next
     start replays the queue journal.
+
+    The service must *own* a local store — it is the thing an
+    ``http://`` store URL points at, so starting it against one would
+    chain services (or loop back into itself).
     """
+    backing = get_store()
+    if not isinstance(backing, FsStore):
+        raise ConfigError(
+            f"repro serve must own a local file:// store, not "
+            f"{backing.url()} — it IS the http:// store other workers "
+            "point --store at")
     with SweepService(state_dir=state_dir, jobs=jobs,
                       default_ttl_s=default_ttl_s) as service:
         server = make_server(service, host=host, port=port, quiet=quiet)

@@ -13,6 +13,20 @@ running job).  For operator convenience ``GET /health`` and
 ``GET /metrics`` return the same payloads as the corresponding RPC
 methods, so a bare ``curl`` works as a liveness probe.
 
+The service is also a shared **blob store**
+(:class:`repro.store.HttpStore` is the client):
+
+* ``GET/PUT/HEAD/DELETE /blob/<namespace>/<name>`` move raw payload
+  bytes (results, packed traces) with no JSON framing — the data plane
+  a fleet of sweep workers hammers;
+* the ``store_*`` JSON-RPC methods (``store_list``,
+  ``store_quarantine``, ``store_orphans``, ...) carry the management
+  plane, so ``repro doctor --store http://...`` audits the remote tree
+  exactly like a local one.
+
+Keys are validated with :func:`repro.store.validate_key` before any
+filesystem work, so a request can never escape the store root.
+
 The server is the stdlib :class:`http.server.ThreadingHTTPServer` —
 one thread per connection, no third-party dependency — and every
 handler routes through the :data:`METHODS` registry, a plain name ->
@@ -23,10 +37,12 @@ decorator; the registry is what ``repro.service.client`` mirrors.
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional
 
 from repro.common.errors import ReproError
+from repro.store.base import StoreError, validate_key
 
 # JSON-RPC 2.0 standard codes
 PARSE_ERROR = -32700
@@ -105,6 +121,62 @@ def _metrics(service, params: Dict) -> Dict:
     return service.metrics_dump()
 
 
+# -- blob-store management plane (repro.store.HttpStore mirrors these) -------
+
+def _store_key(params: Dict) -> str:
+    try:
+        return validate_key(_require(params, "key"))
+    except StoreError as exc:
+        raise ServiceError(str(exc), INVALID_PARAMS)
+
+
+@rpc_method("store_list")
+def _store_list(service, params: Dict) -> Dict:
+    return {"keys": service.store.list(params.get("prefix", ""))}
+
+
+@rpc_method("store_quarantine")
+def _store_quarantine(service, params: Dict) -> Dict:
+    return {"quarantined": service.store.quarantine(
+        _store_key(params), params.get("reason", ""))}
+
+
+@rpc_method("store_quarantine_inventory")
+def _store_quarantine_inventory(service, params: Dict) -> Dict:
+    return service.store.quarantine_inventory(_require(params, "namespace"))
+
+
+@rpc_method("store_orphans")
+def _store_orphans(service, params: Dict) -> Dict:
+    return {"orphans": service.store.orphans(_require(params, "namespace"))}
+
+
+@rpc_method("store_remove_orphan")
+def _store_remove_orphan(service, params: Dict) -> Dict:
+    return {"removed": service.store.remove_orphan(
+        _require(params, "namespace"), _require(params, "name"))}
+
+
+@rpc_method("store_structural_check")
+def _store_structural_check(service, params: Dict) -> Dict:
+    return {"problems": service.store.structural_check(
+        _require(params, "namespace"), fix=bool(params.get("fix", False)))}
+
+
+@rpc_method("store_gc_log")
+def _store_gc_log(service, params: Dict) -> Dict:
+    entry = _require(params, "entry")
+    if not isinstance(entry, dict):
+        raise ServiceError("'entry' must be an object", INVALID_PARAMS)
+    service.store.gc_log(_require(params, "namespace"), entry)
+    return {"ok": True}
+
+
+@rpc_method("store_gc_manifest")
+def _store_gc_manifest(service, params: Dict) -> Dict:
+    return {"entries": service.store.gc_manifest(_require(params, "namespace"))}
+
+
 def dispatch(service, request: Dict) -> Dict:
     """Execute one parsed JSON-RPC request object; returns the response."""
     request_id = request.get("id")
@@ -153,6 +225,82 @@ class RpcHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    # -- raw blob data plane (GET/PUT/HEAD/DELETE /blob/<key>) ---------------
+
+    def _blob_key(self) -> Optional[str]:
+        """The validated blob key of this request, or ``None`` after an
+        error response has been sent."""
+        key = urllib.parse.unquote(self.path[len("/blob/"):])
+        try:
+            return validate_key(key)
+        except StoreError as exc:
+            if self.command == "HEAD":
+                self._send_headers_only(400)
+            else:
+                self._send_json({"error": {"code": INVALID_PARAMS,
+                                           "message": str(exc)}}, status=400)
+            return None
+
+    def _send_headers_only(self, status: int,
+                           headers: Optional[Dict] = None) -> None:
+        """A body-less response (HEAD answers must not carry a body)."""
+        self.send_response(status)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if not headers or "Content-Length" not in headers:
+            self.send_header("Content-Length", "0")
+        self.end_headers()
+
+    def _blob_request(self, method: str) -> None:
+        key = self._blob_key()
+        if key is None:
+            return
+        try:
+            if method == "GET":
+                data = self.service.blob_get(key)
+                if data is None:
+                    self._send_json({"error": {"code": NOT_FOUND,
+                                               "message": f"no blob {key}"}},
+                                    status=404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", "application/octet-stream")
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+            elif method == "HEAD":
+                stat = self.service.blob_stat(key)
+                if stat is None:
+                    self._send_headers_only(404)
+                    return
+                self._send_headers_only(200, {
+                    "Content-Type": "application/octet-stream",
+                    "Content-Length": str(stat.size),
+                    "X-Repro-Mtime": repr(stat.mtime),
+                })
+            elif method == "PUT":
+                length = int(self.headers.get("Content-Length", "0"))
+                data = self.rfile.read(length)
+                self.service.blob_put(key, data)
+                self._send_json({"ok": True, "key": key, "size": len(data)})
+            elif method == "DELETE":
+                removed = self.service.blob_delete(key)
+                if not removed:
+                    self._send_json({"error": {"code": NOT_FOUND,
+                                               "message": f"no blob {key}"}},
+                                    status=404)
+                    return
+                self._send_json({"ok": True, "key": key})
+        except Exception as exc:  # noqa: BLE001 — a store fault must come
+            # back as a structured error, not a dropped connection.
+            if method == "HEAD":
+                self._send_headers_only(500)
+            else:
+                self._send_json(
+                    {"error": {"code": INTERNAL_ERROR,
+                               "message": f"{type(exc).__name__}: {exc}"}},
+                    status=500)
+
     def do_POST(self) -> None:  # noqa: N802 — http.server naming
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -172,6 +320,9 @@ class RpcHandler(BaseHTTPRequestHandler):
         self._send_json(dispatch(self.service, request))
 
     def do_GET(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.startswith("/blob/"):
+            self._blob_request("GET")
+            return
         name = self.path.rstrip("/").lstrip("/") or "health"
         if name not in ("health", "metrics"):
             self._send_json({"error": {"code": NOT_FOUND,
@@ -181,6 +332,29 @@ class RpcHandler(BaseHTTPRequestHandler):
         self._send_json(dispatch(self.service,
                                  {"jsonrpc": "2.0", "id": None,
                                   "method": name}).get("result", {}))
+
+    def do_HEAD(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.startswith("/blob/"):
+            self._blob_request("HEAD")
+            return
+        self._send_headers_only(404)
+
+    def do_PUT(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.startswith("/blob/"):
+            self._blob_request("PUT")
+            return
+        self._send_json({"error": {"code": NOT_FOUND,
+                                   "message": "PUT is only for /blob/<key>"}},
+                        status=404)
+
+    def do_DELETE(self) -> None:  # noqa: N802 — http.server naming
+        if self.path.startswith("/blob/"):
+            self._blob_request("DELETE")
+            return
+        self._send_json({"error": {"code": NOT_FOUND,
+                                   "message": "DELETE is only for "
+                                              "/blob/<key>"}},
+                        status=404)
 
     def log_message(self, fmt: str, *args) -> None:
         if not self.quiet:

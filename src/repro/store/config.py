@@ -1,0 +1,89 @@
+"""Store selection: one URL names where every blob lives.
+
+``parse_store_url`` maps a URL (or bare path) to a backend::
+
+    file:///var/cache/repro   -> FsStore rooted there
+    /var/cache/repro          -> the same FsStore
+    http://cache-host:8673    -> HttpStore against that service
+
+``configure_store`` installs a process-wide choice and exports it as
+``REPRO_STORE`` so every engine this process builds — and every pool
+worker it forks — resolves the same store.  ``get_store`` is the single
+lookup the caches use: the configured store if its URL still matches
+the environment, else whatever ``REPRO_STORE`` names, else the default
+:class:`~repro.store.fs.FsStore` honouring the legacy
+``REPRO_CACHE_DIR`` / ``REPRO_TRACE_CACHE_DIR`` variables (which remain
+as deprecated aliases of a ``file://`` store).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.store.base import BlobStore, StoreError
+from repro.store.fs import FsStore
+from repro.store.http import HttpStore
+
+
+def parse_store_url(url_or_path: Union[str, Path]) -> BlobStore:
+    """A ready-to-use backend for one store URL (or bare path)."""
+    text = str(url_or_path).strip()
+    if not text:
+        raise StoreError("empty store URL")
+    if text.startswith(("http://", "https://")):
+        return HttpStore(text)
+    if text.startswith("file://"):
+        path = text[len("file://"):]
+        if not path:
+            raise StoreError(f"file store URL names no path: {text!r}")
+        return FsStore(Path(path))
+    if "://" in text:
+        scheme = text.split("://", 1)[0]
+        raise StoreError(f"unsupported store scheme {scheme!r} "
+                         "(use file:// or http://)")
+    return FsStore(Path(text))
+
+
+def store_url(store: BlobStore) -> str:
+    """The canonical URL of a backend (what ``REPRO_STORE`` carries)."""
+    return store.url()
+
+
+#: (REPRO_STORE value it was configured under, the store) — see get_store.
+_CONFIGURED: Tuple[Optional[str], Optional[BlobStore]] = (None, None)
+
+
+def configure_store(url_or_path: Union[str, Path, None]) -> Optional[BlobStore]:
+    """Install a process-wide store (``None`` reverts to the environment).
+
+    The choice is exported through ``REPRO_STORE`` so forked pool
+    workers and child processes inherit it; returns the backend.
+    """
+    global _CONFIGURED
+    if url_or_path is None:
+        _CONFIGURED = (None, None)
+        os.environ.pop("REPRO_STORE", None)
+        return None
+    store = parse_store_url(url_or_path)
+    url = store_url(store)
+    os.environ["REPRO_STORE"] = url
+    _CONFIGURED = (url, store)
+    return store
+
+
+def get_store() -> BlobStore:
+    """The store the caches should use right now.
+
+    Construction is a couple of environment reads, so — like the caches
+    themselves — callers consult this per use and environment changes
+    (notably the hermetic test fixtures) always take effect.
+    """
+    env = os.environ.get("REPRO_STORE", "")
+    url, store = _CONFIGURED
+    if store is not None and url == env:
+        return store
+    if env:
+        return parse_store_url(env)
+    return FsStore()

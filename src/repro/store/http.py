@@ -1,0 +1,145 @@
+"""``HttpStore``: the blob store spoken over a running ``repro serve``.
+
+One service instance owns an :class:`~repro.store.fs.FsStore` and
+exposes it two ways (see :mod:`repro.service.rpc`):
+
+* **raw blob endpoints** for the data plane —
+  ``GET/PUT/HEAD/DELETE /blob/<key>`` move payload bytes without any
+  JSON framing, so a fleet of workers shares one warm cache at wire
+  speed;
+* **JSON-RPC methods** for the management plane — ``store_list``,
+  ``store_quarantine``, ``store_orphans``, ``store_gc_log``, ... carry
+  the doctor/GC surface, so ``repro doctor --store http://...`` audits
+  the remote tree exactly like a local one.
+
+This client is deliberately free of :mod:`repro.service` imports (the
+service itself sits *above* the store layer); the ~20 lines of JSON-RPC
+framing are duplicated here instead of creating an import cycle.
+Transport failures raise the stdlib ``URLError`` untouched so callers
+can tell "the store said no" from "there is no store".
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.store.base import BlobStat, BlobStore, StoreError, validate_key
+
+
+class HttpStore(BlobStore):
+    """Blob storage over a ``repro serve`` endpoint (``http://host:port``)."""
+
+    def __init__(self, url: str, timeout_s: float = 60.0):
+        self.base = url.rstrip("/")
+        self.timeout_s = timeout_s
+        self._next_id = 0
+
+    # -- wire helpers --------------------------------------------------------
+
+    def _blob_url(self, key: str) -> str:
+        return f"{self.base}/blob/{urllib.parse.quote(validate_key(key))}"
+
+    def _request(self, method: str, key: str, data: Optional[bytes] = None):
+        request = urllib.request.Request(self._blob_url(key), data=data,
+                                         method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/octet-stream")
+        return urllib.request.urlopen(request, timeout=self.timeout_s)
+
+    def _rpc(self, method: str, **params):
+        """One JSON-RPC round trip to the service (management plane)."""
+        self._next_id += 1
+        body = json.dumps({"jsonrpc": "2.0", "id": self._next_id,
+                           "method": method, "params": params}).encode()
+        request = urllib.request.Request(
+            self.base + "/", data=body,
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            payload = json.loads(resp.read().decode("utf-8"))
+        if "error" in payload:
+            error = payload["error"] or {}
+            raise StoreError(f"store RPC {method} failed: "
+                             f"{error.get('message', 'unknown error')}")
+        return payload.get("result")
+
+    # -- blob data -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        try:
+            with self._request("GET", key) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+
+    def put(self, key: str, data: Union[str, bytes]) -> None:
+        payload = data.encode("utf-8") if isinstance(data, str) else data
+        with self._request("PUT", key, data=payload):
+            pass
+
+    def put_blob(self, key: str, writer: Callable) -> None:
+        buffer = io.BytesIO()
+        writer(buffer)
+        self.put(key, buffer.getvalue())
+
+    def delete(self, key: str) -> bool:
+        try:
+            with self._request("DELETE", key):
+                return True
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return False
+            raise
+
+    def stat(self, key: str) -> Optional[BlobStat]:
+        try:
+            with self._request("HEAD", key) as resp:
+                return BlobStat(
+                    size=int(resp.headers.get("Content-Length", "0")),
+                    mtime=float(resp.headers.get("X-Repro-Mtime", "0")))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return None
+            raise
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self._rpc("store_list", prefix=prefix)["keys"]
+
+    # -- integrity / quarantine ----------------------------------------------
+
+    def quarantine(self, key: str, reason: str) -> Optional[str]:
+        return self._rpc("store_quarantine", key=validate_key(key),
+                         reason=reason)["quarantined"]
+
+    def quarantine_inventory(self, namespace: str) -> Dict:
+        return self._rpc("store_quarantine_inventory", namespace=namespace)
+
+    def orphans(self, namespace: str) -> List[str]:
+        return self._rpc("store_orphans", namespace=namespace)["orphans"]
+
+    def remove_orphan(self, namespace: str, name: str) -> bool:
+        return self._rpc("store_remove_orphan", namespace=namespace,
+                         name=name)["removed"]
+
+    def structural_check(self, namespace: str, fix: bool = False) -> List[str]:
+        return self._rpc("store_structural_check", namespace=namespace,
+                         fix=fix)["problems"]
+
+    # -- garbage collection --------------------------------------------------
+
+    def gc_log(self, namespace: str, entry: Dict) -> None:
+        self._rpc("store_gc_log", namespace=namespace, entry=entry)
+
+    def gc_manifest(self, namespace: str) -> List[Dict]:
+        return self._rpc("store_gc_manifest", namespace=namespace)["entries"]
+
+    # -- identity ------------------------------------------------------------
+
+    def url(self) -> str:
+        return self.base

@@ -1,26 +1,34 @@
-"""The content-addressed on-disk cache of packed workload traces.
+"""The content-addressed cache of packed workload traces.
 
 Synthetic trace generation is deterministic in ``(workload, cores,
 per_core, seed)``, so a trace only ever needs to be *generated* once —
 every later run (in this process, in a pool worker, or next week)
 replays the packed binary form instead of re-driving the pattern
-generators.  The cache lives beside the result cache:
+generators.  The cache shares the result cache's pluggable blob store
+(:mod:`repro.store`):
 
-* **Location.** ``$REPRO_TRACE_CACHE_DIR`` if set, else ``traces/``
-  under the result-cache root (``$REPRO_CACHE_DIR`` or
-  ``~/.cache/repro``).
-* **Key.** sha256 of the sorted-key JSON of the recipe plus
+* **Key.** ``traces/<digest>.bin`` where the digest is sha256 of the
+  sorted-key JSON of the recipe plus
   :data:`~repro.trace.packed.FORMAT_VERSION` — bumping the format
   version (or changing any recipe axis) addresses a different entry.
-* **Degradation.** A corrupt or truncated file is a miss: the damaged
-  blob moves into ``quarantine/`` beside the cache root (with the parse
-  error recorded through :mod:`repro.resilience.log`, so rebuild storms
-  are visible in the obs counters), then the trace is rebuilt from the
-  generators and the entry rewritten (atomically and durably — fsync
-  before rename — so concurrent builders and mid-write kills never
-  produce torn files).
+* **Location.** Whatever :func:`repro.store.get_store` resolves
+  (``--store`` / ``REPRO_STORE``); the default ``FsStore`` keeps the
+  historical tree — ``$REPRO_TRACE_CACHE_DIR`` if set, else ``traces/``
+  under the result-cache root.  On a local store, reads keep the
+  zero-copy mmap fast path; on an ``HttpStore`` the packed bytes are
+  fetched and parsed in memory, so a fleet shares one warm trace cache.
+* **Degradation.** A corrupt or truncated blob is a miss: it is
+  quarantined through the store (with the parse error recorded through
+  :mod:`repro.resilience.log`, so rebuild storms are visible in the obs
+  counters), then the trace is rebuilt from the generators and the
+  entry rewritten (atomically and durably, so concurrent builders and
+  mid-write kills never produce torn files).
 * **Switches.** ``REPRO_TRACE_CACHE=0`` disables just this cache;
   ``REPRO_CACHE=0`` disables it along with the result cache.
+
+The ``root`` path argument of :class:`TraceCache` is deprecated the
+same way as ``ResultCache(root=...)``: it pins an
+:class:`~repro.store.FsStore` whose trace root is that path.
 """
 
 from __future__ import annotations
@@ -28,24 +36,22 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Optional
 
 from repro.common.errors import SimulationError
 from repro.resilience.faults import SITE_TRACE_CORRUPT, get_injector
 from repro.resilience.log import warn as resilience_warn
-from repro.resilience.storage import durable_replace, quarantine_file
+from repro.store import NAMESPACE_TRACES, BlobStore, FsStore, get_store
+from repro.store.fs import default_trace_root
 from repro.trace.packed import FORMAT_VERSION, PackedTrace
 from repro.trace.workloads import build_streams
 
 
 def trace_cache_dir() -> Path:
-    env = os.environ.get("REPRO_TRACE_CACHE_DIR", "")
-    if env:
-        return Path(env)
-    base = os.environ.get("REPRO_CACHE_DIR", "")
-    root = Path(base) if base else Path(os.path.expanduser("~")) / ".cache" / "repro"
-    return root / "traces"
+    """The local trace tree of the default filesystem store (legacy)."""
+    return default_trace_root()
 
 
 def trace_cache_enabled() -> bool:
@@ -71,44 +77,88 @@ class TraceCache:
     """Mirror of the engine's ``ResultCache``, holding packed binaries."""
 
     def __init__(self, root: Optional[Path] = None,
-                 enabled: Optional[bool] = None):
-        self.root = Path(root) if root is not None else trace_cache_dir()
+                 enabled: Optional[bool] = None,
+                 store: Optional[BlobStore] = None):
+        if root is not None:
+            if store is not None:
+                raise TypeError("pass either root= (deprecated) or store=, "
+                                "not both")
+            warnings.warn(
+                "TraceCache(root=...) is deprecated; pass "
+                "store=FsStore(trace_root=root) or configure_store(...)",
+                DeprecationWarning, stacklevel=2)
+            store = FsStore(trace_root=Path(root))
+        self._store = store
         self.enabled = trace_cache_enabled() if enabled is None else enabled
         self.hits = 0
         self.misses = 0
         self.built = 0
         self.quarantined = 0
 
-    def path_for(self, workload: str, cores: int, per_core: int,
-                 seed: int) -> Path:
-        digest = trace_digest(workload, cores, per_core, seed)
-        return self.root / digest[:2] / f"{digest}.bin"
+    @property
+    def store(self) -> BlobStore:
+        """The backend in effect (pinned at construction, else the
+        process-wide :func:`repro.store.get_store` resolved per use)."""
+        return self._store if self._store is not None else get_store()
 
-    def derived_path_for(self, workload: str, cores: int, per_core: int,
-                         seed: int, region_bytes: int) -> Path:
+    @property
+    def root(self) -> Optional[Path]:
+        """The local trace tree, when the backend has one (legacy)."""
+        return getattr(self.store, "trace_root", None)
+
+    @staticmethod
+    def key_for(workload: str, cores: int, per_core: int, seed: int) -> str:
+        digest = trace_digest(workload, cores, per_core, seed)
+        return f"{NAMESPACE_TRACES}/{digest}.bin"
+
+    @staticmethod
+    def derived_key_for(workload: str, cores: int, per_core: int, seed: int,
+                        region_bytes: int) -> str:
         """Sidecar of batch-execution derived columns for one trace.
 
-        Lives in the same fan-out directory as the ``.bin`` it derives
-        from; the ``.drv`` suffix keeps it out of the doctor's
-        packed-trace integrity scan, and the embedded format version
-        makes stale layouts unreachable (like the trace digest itself).
+        Same fan-out as the ``.bin`` it derives from; the ``.drv``
+        suffix keeps it out of the doctor's packed-trace integrity
+        scan, and the embedded format version makes stale layouts
+        unreachable (like the trace digest itself).
         """
         from repro.trace.derived import DERIVED_FORMAT_VERSION
 
         digest = trace_digest(workload, cores, per_core, seed)
-        return (self.root / digest[:2]
-                / f"{digest}.d{region_bytes}.v{DERIVED_FORMAT_VERSION}.drv")
+        return (f"{NAMESPACE_TRACES}/{digest}"
+                f".d{region_bytes}.v{DERIVED_FORMAT_VERSION}.drv")
+
+    def path_for(self, workload: str, cores: int, per_core: int,
+                 seed: int) -> Optional[Path]:
+        """Local blob path (``None`` on a remote store)."""
+        return self.store.local_path(
+            self.key_for(workload, cores, per_core, seed))
+
+    def derived_path_for(self, workload: str, cores: int, per_core: int,
+                         seed: int, region_bytes: int) -> Optional[Path]:
+        return self.store.local_path(
+            self.derived_key_for(workload, cores, per_core, seed,
+                                 region_bytes))
 
     def get(self, workload: str, cores: int, per_core: int,
             seed: int) -> Optional[PackedTrace]:
         if not self.enabled:
             return None
-        path = self.path_for(workload, cores, per_core, seed)
+        store = self.store
+        key = self.key_for(workload, cores, per_core, seed)
+        path = store.local_path(key)
         injector = get_injector()
-        if injector is not None:
+        if injector is not None and path is not None:
             injector.maybe_corrupt(SITE_TRACE_CORRUPT, path)
         try:
-            trace = PackedTrace.load(path)
+            if path is not None:
+                # Local store: zero-copy mmap straight off the tree.
+                trace = PackedTrace.load(path)
+            else:
+                raw = store.get(key)
+                if raw is None:
+                    self.misses += 1
+                    return None
+                trace = PackedTrace.loads(raw)
         except OSError:
             # Absent: a plain miss (the build writes it).
             self.misses += 1
@@ -118,13 +168,12 @@ class TraceCache:
             # the rebuild through repro.obs — a silent rebuild storm
             # must not look like a healthy cache.
             self.quarantined += 1
-            quarantined = quarantine_file(
-                self.root, path, f"{type(exc).__name__}: {exc}")
+            quarantined = store.quarantine(key, f"{type(exc).__name__}: {exc}")
             resilience_warn(
                 "trace-cache-corrupt",
-                f"unreadable packed trace {path.name}; rebuilding",
+                f"unreadable packed trace {key}; rebuilding",
                 cache="trace", workload=workload, error=str(exc),
-                quarantined=str(quarantined) if quarantined else "FAILED")
+                quarantined=quarantined if quarantined else "FAILED")
             self.misses += 1
             return None
         self.hits += 1
@@ -136,8 +185,8 @@ class TraceCache:
             per_core: int, seed: int) -> None:
         if not self.enabled:
             return
-        path = self.path_for(workload, cores, per_core, seed)
-        durable_replace(path, trace.dump, binary=True)
+        self.store.put_blob(self.key_for(workload, cores, per_core, seed),
+                            trace.dump)
 
     def get_or_build(self, workload: str, cores: int, per_core: int,
                      seed: int) -> PackedTrace:
@@ -173,24 +222,20 @@ class _DerivedStore:
         self.per_core = per_core
         self.seed = seed
 
-    def _path(self, region_bytes: int) -> Path:
-        return self.cache.derived_path_for(self.workload, self.cores,
-                                           self.per_core, self.seed,
-                                           region_bytes)
+    def _key(self, region_bytes: int) -> str:
+        return self.cache.derived_key_for(self.workload, self.cores,
+                                          self.per_core, self.seed,
+                                          region_bytes)
 
     def load(self, region_bytes: int) -> Optional[bytes]:
         if not self.cache.enabled:
             return None
-        try:
-            return self._path(region_bytes).read_bytes()
-        except OSError:
-            return None
+        return self.cache.store.get(self._key(region_bytes))
 
     def save(self, region_bytes: int, blob: bytes) -> None:
         if not self.cache.enabled:
             return
-        durable_replace(self._path(region_bytes),
-                        lambda fh: fh.write(blob), binary=True)
+        self.cache.store.put(self._key(region_bytes), blob)
 
 
 def packed_streams(workload: str, cores: int = 16, per_core: int = 2000,

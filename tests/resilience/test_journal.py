@@ -71,3 +71,40 @@ class TestResume:
         with SweepJournal(path) as journal:
             journal.record("d1")
         assert path.exists()
+
+
+class TestRefresh:
+    """Incremental reads of teammates' appends (the multi-worker path)."""
+
+    def test_refresh_picks_up_other_writers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        mine = SweepJournal(path)
+        theirs = SweepJournal(path)
+        theirs.record("d1")
+        theirs.record("d2")
+        assert "d1" not in mine
+        assert mine.refresh() == 2
+        assert mine.completed() == frozenset({"d1", "d2"})
+        assert mine.refresh() == 0  # nothing new: no re-reads
+        mine.close()
+        theirs.close()
+
+    def test_refresh_leaves_torn_tail_for_next_pass(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        mine = SweepJournal(path)
+        with open(path, "a") as fh:
+            fh.write('{"digest": "d1"}\n{"digest": "d2"')  # torn mid-append
+        assert mine.refresh() == 1
+        assert mine.completed() == frozenset({"d1"})
+        with open(path, "a") as fh:
+            fh.write('}\n')  # the writer finishes the line
+        assert mine.refresh() == 1
+        assert mine.completed() == frozenset({"d1", "d2"})
+        mine.close()
+
+    def test_own_records_never_count_as_fresh(self, tmp_path):
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        journal.record("d1")
+        assert journal.refresh() == 0
+        assert len(journal) == 1
+        journal.close()

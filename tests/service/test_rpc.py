@@ -223,4 +223,9 @@ class TestGetMirrors:
 class TestRegistry:
     def test_every_advertised_method_is_registered(self):
         assert set(METHODS) == {"submit_sweep", "job_status", "job_result",
-                                "cancel", "list_jobs", "health", "metrics"}
+                                "cancel", "list_jobs", "health", "metrics",
+                                "store_list", "store_quarantine",
+                                "store_quarantine_inventory", "store_orphans",
+                                "store_remove_orphan",
+                                "store_structural_check", "store_gc_log",
+                                "store_gc_manifest"}

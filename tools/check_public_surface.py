@@ -7,6 +7,12 @@ in ``README.md`` / ``docs/*.md`` — may import from ``repro`` or
 ``repro.trace.io``, ...) are implementation detail: showing them in
 docs re-freezes layouts the facade exists to keep movable.
 
+Also rejects the deprecated cache constructors: ``ResultCache`` /
+``TraceCache`` calls that pass a path positionally or via ``root=`` are
+shims over :class:`repro.api.FsStore` — user-facing material must show
+the store-first surface (``ResultCache(store=FsStore(path))`` or
+``configure_store("file:///path")``).
+
 Exit status 1 lists every violation as ``file:line: import``.
 
 Usage: python tools/check_public_surface.py [repo_root]
@@ -38,6 +44,38 @@ def bad_imports(tree: ast.AST) -> Iterator[Tuple[int, str]]:
                 yield node.lineno, f"from {module} import ..."
 
 
+#: Cache constructors whose legacy path argument is a deprecation shim.
+CACHE_CLASSES = {"ResultCache", "TraceCache"}
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def deprecated_cache_calls(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    """``ResultCache(path)`` / ``TraceCache(root=...)`` style calls."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in CACHE_CLASSES:
+            continue
+        if node.args:
+            yield (node.lineno,
+                   f"{name}(<path>) positional root is deprecated — "
+                   f"use {name}(store=FsStore(path))")
+        for keyword in node.keywords:
+            if keyword.arg in ("root", "dir", "cache_dir"):
+                yield (node.lineno,
+                       f"{name}({keyword.arg}=...) is deprecated — "
+                       f"use {name}(store=FsStore(path))")
+
+
 def check_python_source(source: str, label: str,
                         line_offset: int = 0) -> List[str]:
     try:
@@ -46,8 +84,9 @@ def check_python_source(source: str, label: str,
         # Doc snippets may be deliberately elided (``...``); skip what
         # does not parse rather than failing the build over prose.
         return []
+    findings = list(bad_imports(tree)) + list(deprecated_cache_calls(tree))
     return [f"{label}:{line + line_offset}: {what}"
-            for line, what in bad_imports(tree)]
+            for line, what in sorted(findings)]
 
 
 def python_blocks(text: str) -> Iterator[Tuple[int, str]]:
