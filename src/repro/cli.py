@@ -94,10 +94,13 @@ def _common_parent() -> argparse.ArgumentParser:
                              "(commands choose their own default)")
     parent.add_argument("--store", default="",
                         help="blob store for result/trace caches: "
-                             "file:///path, a bare path, or http://host:port "
-                             "of a running 'repro serve' (overrides "
-                             "REPRO_STORE; supersedes the deprecated "
-                             "REPRO_CACHE_DIR/REPRO_TRACE_CACHE_DIR)")
+                             "file:///path, a bare path, http://host:port "
+                             "of a running 'repro serve' (?timeout=SECONDS "
+                             "accepted), or tiered+http://host:port?local=DIR"
+                             "[&budget=BYTES] for an outage-tolerant local "
+                             "tier (overrides REPRO_STORE; supersedes the "
+                             "deprecated REPRO_CACHE_DIR/"
+                             "REPRO_TRACE_CACHE_DIR)")
     parent.add_argument("--trace-dir", default="",
                         help="packed trace cache directory "
                              "(overrides REPRO_TRACE_CACHE_DIR; deprecated "
@@ -529,6 +532,19 @@ def cmd_chaos(args) -> int:
     from repro.resilience.chaos import render as render_chaos
     from repro.resilience.chaos import run_chaos
 
+    store = getattr(args, "store", "")
+    if store:
+        # Validate eagerly for an actionable error, but do NOT
+        # configure_store: exporting REPRO_STORE would leak the remote
+        # into the fault-free baseline phase, which must stay hermetic.
+        # run_chaos applies the URL to the faulted phase only.
+        from repro.store import StoreError, parse_store_url
+
+        try:
+            parse_store_url(store)
+        except StoreError as exc:
+            raise SystemExit(f"--store: {exc}")
+        args.store = ""
     _apply_common(args)
     workloads = ([w.strip() for w in args.workloads.split(",") if w.strip()]
                  if args.workloads else None)
@@ -544,9 +560,27 @@ def cmd_chaos(args) -> int:
         timeout_s=args.timeout if args.timeout > 0 else None,
         keep=args.keep,
         out=args.out,
+        store=store,
     )
     print(render_chaos(report))
     return 0 if report["ok"] else 1
+
+
+def _parse_size(text: str) -> int:
+    """``BYTES`` with an optional K/M/G/T suffix (decimal, e.g. 500M)."""
+    raw = text.strip()
+    scale = 1
+    suffixes = {"K": 10 ** 3, "M": 10 ** 6, "G": 10 ** 9, "T": 10 ** 12}
+    if raw and raw[-1].upper() in suffixes:
+        scale = suffixes[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise ValueError(f"bad size {text!r} (use BYTES or e.g. 500M)")
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return value
 
 
 def cmd_doctor(args) -> int:
@@ -563,6 +597,10 @@ def cmd_doctor(args) -> int:
         from repro.store import get_store
 
         store = get_store()
+    try:
+        budget = _parse_size(args.prune_to_size) if args.prune_to_size else None
+    except ValueError as exc:
+        raise SystemExit(f"--prune-to-size: {exc}")
     report = run_doctor(
         result_root=Path(args.cache_dir) if args.cache_dir else None,
         trace_root=Path(args.trace_dir) if args.trace_dir else None,
@@ -570,6 +608,7 @@ def cmd_doctor(args) -> int:
         prune_older_than_days=(args.prune_older_than
                                if args.prune_older_than > 0 else None),
         store=store,
+        prune_to_size_bytes=budget,
     )
     print(report.render())
     return 0 if report.ok else 1
@@ -851,6 +890,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="garbage-collect result/trace cache entries whose "
                         "last write is older than DAYS days (logged to the "
                         "cache's GC manifest; quarantine is never touched)")
+    p.add_argument("--prune-to-size", default="", metavar="BYTES",
+                   help="evict least-recently-written entries until the "
+                        "store fits BYTES (K/M/G/T suffixes accepted); "
+                        "manifest-logged before deletion, never touches "
+                        "quarantine or spooled unflushed tiered writes")
     p.set_defaults(fn=cmd_doctor)
 
     p = sub.add_parser("serve",

@@ -153,14 +153,15 @@ def _serialize_result(result: RunResult) -> str:
 
 
 def _pool_init(trace_dir: str, batch_env: str = "",
-               store_env: str = "") -> None:
+               store_env: str = "", store_timeout_env: str = "") -> None:
     """Worker initializer: pin the trace cache, pre-import the machine.
 
     Runs once per worker process (not per task), so spawn-started pools
     agree with the parent on trace-cache location, blob-store choice
-    (``REPRO_STORE``, set by ``--store``), batched-execution choice
-    (``REPRO_BATCH``, set by ``--batch/--no-batch``), and every heavy
-    import is paid before the first task arrives.
+    (``REPRO_STORE``, set by ``--store``), the remote-store timeout
+    (``REPRO_STORE_TIMEOUT``), batched-execution choice (``REPRO_BATCH``,
+    set by ``--batch/--no-batch``), and every heavy import is paid
+    before the first task arrives.
     """
     if trace_dir:
         os.environ["REPRO_TRACE_CACHE_DIR"] = trace_dir
@@ -168,6 +169,8 @@ def _pool_init(trace_dir: str, batch_env: str = "",
         os.environ["REPRO_BATCH"] = batch_env
     if store_env:
         os.environ["REPRO_STORE"] = store_env
+    if store_timeout_env:
+        os.environ["REPRO_STORE_TIMEOUT"] = store_timeout_env
     import repro.system.machine  # noqa: F401
 
 
@@ -380,7 +383,8 @@ class ExperimentEngine:
                 initializer=_pool_init,
                 initargs=(str(trace_cache_dir()),
                           os.environ.get("REPRO_BATCH", ""),
-                          os.environ.get("REPRO_STORE", "")),
+                          os.environ.get("REPRO_STORE", ""),
+                          os.environ.get("REPRO_STORE_TIMEOUT", "")),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool)

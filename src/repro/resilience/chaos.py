@@ -40,9 +40,17 @@ from repro.resilience.journal import SweepJournal
 from repro.resilience.retry import RetryPolicy
 
 #: The default plan: every fault kind the catalogue defines (well past
-#: the >=3 kinds ``repro chaos`` is asked to prove survivable).
+#: the >=3 kinds ``repro chaos`` is asked to prove survivable).  The
+#: network sites are inert unless the sweep talks to a remote store
+#: (``run_chaos(store="http://...")`` / ``repro chaos --store``).
+#: The network sites are spread (``every=``) so one round trip's retry
+#: chain can never eat the whole fault budget back-to-back — the client
+#: policy allows 2 retries, so 3 stacked failures would be unsurvivable
+#: by construction rather than a real coordinator flap.
 DEFAULT_FAULTS = ("worker-kill:n=1;worker-exc:n=2;task-stall:n=1:ms=100;"
-                  "cache-corrupt:n=2;trace-corrupt:n=1")
+                  "cache-corrupt:n=2;trace-corrupt:n=1;"
+                  "store-get-error:n=2:every=3;store-put-stall:n=1:ms=50;"
+                  "store-conn-refused:n=1:every=5")
 
 CHAOS_WORKLOADS = ("kmeans", "histogram")
 
@@ -71,16 +79,30 @@ def run_chaos(faults: str = "",
               retries: int = 3,
               timeout_s: Optional[float] = None,
               keep: bool = False,
-              out: str = "") -> Dict:
-    """Run the chaos experiment; returns the report dict (``ok`` key)."""
+              out: str = "",
+              store: str = "") -> Dict:
+    """Run the chaos experiment; returns the report dict (``ok`` key).
+
+    With ``store`` set to a store URL (``http://...`` or
+    ``tiered+http://...?local=DIR``), the *faulted* sweep's result cache
+    runs against that backend, so the network fault sites
+    (``store-get-error`` / ``store-put-stall`` / ``store-conn-refused``)
+    fire on real round trips while the baseline stays hermetic in the
+    scratch tree — proving the report byte-reproduces through a flapping
+    coordinator.
+    """
     from repro.experiments._engine import (
         ExperimentEngine,
         ResultCache,
         default_jobs,
     )
     from repro.experiments.bench import matrix_specs
-    from repro.resilience.doctor import check_result_cache, check_trace_cache
-    from repro.store import FsStore
+    from repro.resilience.doctor import (
+        check_result_cache,
+        check_result_store,
+        check_trace_cache,
+    )
+    from repro.store import FsStore, parse_store_url
 
     plan = FaultPlan.parse(faults or DEFAULT_FAULTS).with_seed(seed)
     # Worker-side faults need actual workers.
@@ -91,13 +113,20 @@ def run_chaos(faults: str = "",
     scratch = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
     saved = {name: os.environ.get(name)
              for name in ("REPRO_FAULTS", "REPRO_FAULTS_DIR",
-                          "REPRO_TRACE_CACHE_DIR", "REPRO_OBS")}
+                          "REPRO_TRACE_CACHE_DIR", "REPRO_OBS",
+                          "REPRO_STORE_RETRIES", "REPRO_STORE_TIMEOUT",
+                          "REPRO_RETRY_SEED")}
     os.environ["REPRO_TRACE_CACHE_DIR"] = str(scratch / "traces")
     os.environ.pop("REPRO_FAULTS", None)
     os.environ.pop("REPRO_FAULTS_DIR", None)
     # Ambient observability would attach wall-clock phase timings to every
     # serialized result and break the byte-identity comparison.
     os.environ.pop("REPRO_OBS", None)
+    # Ambient store tuning would change how many injected network faults
+    # one round trip can absorb; the rehearsal runs the stock policy.
+    os.environ.pop("REPRO_STORE_RETRIES", None)
+    os.environ.pop("REPRO_STORE_TIMEOUT", None)
+    os.environ.pop("REPRO_RETRY_SEED", None)
     reset_injector()
     try:
         # Phase 1: the fault-free reference sweep.
@@ -115,8 +144,9 @@ def run_chaos(faults: str = "",
         journal = SweepJournal(scratch / "journal.jsonl")
         policy = RetryPolicy(max_retries=retries, backoff_base_s=0.01,
                              timeout_s=timeout_s, seed=seed)
-        faulted_cache = ResultCache(store=FsStore(scratch / "faulted"),
-                                    enabled=True)
+        faulted_store = (parse_store_url(store) if store
+                         else FsStore(scratch / "faulted"))
+        faulted_cache = ResultCache(store=faulted_store, enabled=True)
         with ExperimentEngine(jobs=jobs, cache=faulted_cache,
                               retry=policy, journal=journal) as engine:
             engine.run_many(specs)          # cold: worker faults fire
@@ -134,7 +164,11 @@ def run_chaos(faults: str = "",
 
         # Phase 3: leak audit — every surviving cache entry must be intact
         # (corruption belongs in quarantine, not in the fan-out dirs).
-        audit = (check_result_cache(scratch / "faulted")
+        # An explicit store is audited through the interface (for a
+        # tiered store that is its local tier — the side the faulted
+        # sweep actually read from).
+        audit = ((check_result_store(faulted_store) if store
+                  else check_result_cache(scratch / "faulted"))
                  + check_trace_cache(scratch / "traces"))
         leaks: List[str] = [line for check in audit if not check.ok
                             for line in check.details]
@@ -152,6 +186,7 @@ def run_chaos(faults: str = "",
         "ok": baseline == faulted and not leaks,
         "identical": baseline == faulted,
         "fault_plan": plan.to_env(),
+        "store": store,
         "seed": seed,
         "jobs": jobs,
         "cells": len(specs),
@@ -181,6 +216,10 @@ def render(report: Dict) -> str:
         f"chaos sweep: {report['cells']} cells, {report['jobs']} jobs, "
         f"seed {report['seed']}",
         f"fault plan:  {report['fault_plan']}",
+    ]
+    if report.get("store"):
+        lines.append(f"store:       {report['store']}")
+    lines += [
         f"faults fired: " + (", ".join(
             f"{site}={count}" for site, count in sorted(report["fired"].items()))
             or "none"),

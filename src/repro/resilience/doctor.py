@@ -87,7 +87,15 @@ class DoctorReport:
             lines.append(f"[{'PASS' if check.ok else 'FAIL'}] {check.name}")
             lines.extend(f"    {line}" for line in check.details)
         lines.append("")
-        lines.append(f"doctor: {'all checks passed' if self.ok else 'PROBLEMS FOUND'}")
+        probe = next((check for check in self.checks
+                      if check.name.endswith(": connectivity")), None)
+        tail = ""
+        if probe is not None:
+            tail = (" (store reachable)" if probe.ok
+                    else " (store UNREACHABLE)")
+        lines.append("doctor: "
+                     f"{'all checks passed' if self.ok else 'PROBLEMS FOUND'}"
+                     f"{tail}")
         return "\n".join(lines)
 
 
@@ -504,11 +512,119 @@ def prune_store(store, namespace: str, suffix: str, older_than_days: float,
     return check
 
 
+def prune_store_to_size(store, budget_bytes: int, label: str,
+                        now: Optional[float] = None,
+                        exempt=None) -> CheckResult:
+    """Evict least-recently-written blobs until the store fits a budget.
+
+    The ordering guarantees (docs/resilience.md):
+
+    * every eviction is **manifest-logged before the delete** — the GC
+      manifest names what size pressure removed even if the process
+      dies mid-prune;
+    * **quarantine is never touched** — quarantined blobs are invisible
+      to ``list`` and their bytes do not count against the budget;
+    * **spooled unflushed writes are never evicted** — ``exempt``
+      defaults to :meth:`repro.store.BlobStore.spooled_keys`, the keys
+      whose only copy is this store (a ``TieredStore`` local tier with
+      its remote down).  Their bytes *do* count against the budget —
+      they occupy real disk — so a spool backlog can legitimately make
+      the budget unreachable, which is reported as a failure rather
+      than "solved" by deleting sole copies.
+
+    The returned check carries ``evicted`` / ``freed_bytes`` attributes
+    for programmatic callers (the ``TieredStore`` budget).
+    """
+    check = CheckResult(f"{label}: GC (size budget {budget_bytes} B)")
+    now = time.time() if now is None else now
+    exempt = set(store.spooled_keys() if exempt is None else exempt)
+    total = 0
+    candidates = []
+    exempt_bytes = 0
+    for key in store.list():
+        stat = store.stat(key)
+        if stat is None:
+            continue  # a concurrent writer/GC got there first
+        total += stat.size
+        if key in exempt:
+            exempt_bytes += stat.size
+            continue
+        candidates.append((stat.mtime, key, stat.size))
+    evicted = freed = 0
+    if total > budget_bytes:
+        candidates.sort()  # oldest write first: LRU by mtime
+        for mtime, key, size in candidates:
+            if total - freed <= budget_bytes:
+                break
+            namespace, name = key.split("/", 1)
+            store.gc_log(namespace, {
+                "file": f"{name[:2]}/{name}",
+                "bytes": size,
+                "mtime": mtime,
+                "age_days": round((now - mtime) / 86400.0, 3),
+                "pruned_at": now,
+                "pid": os.getpid(),
+                "reason": "size-budget",
+                "budget_bytes": budget_bytes,
+            })
+            if not store.delete(key):
+                check.fail(f"could not evict {name}")
+                continue
+            evicted += 1
+            freed += size
+    remaining = total - freed
+    check.note(f"{evicted} entr(ies) evicted ({freed} B freed), "
+               f"{remaining} B remain of {budget_bytes} B budget")
+    if exempt:
+        check.note(f"{len(exempt)} spooled unflushed write(s) exempt "
+                   f"({exempt_bytes} B)")
+    if evicted:
+        check.note("evictions logged to the GC manifest")
+    if remaining > budget_bytes:
+        check.fail("budget not met: remaining bytes are spooled writes "
+                   "or in-flight entries; flush the spool and re-prune")
+    check.evicted = evicted
+    check.freed_bytes = freed
+    return check
+
+
+def probe_store(store) -> CheckResult:
+    """One connectivity check, first in every ``--store`` report.
+
+    An unreachable remote fails this single check with an actionable
+    message instead of surfacing as a traceback (or as N confusing
+    empty audits) further down.
+    """
+    check = CheckResult(f"store {store.url()}: connectivity")
+    try:
+        ok, detail = store.probe()
+    except Exception as exc:  # noqa: BLE001 — a probe reports, not raises
+        ok, detail = False, f"{type(exc).__name__}: {exc}"
+    if ok:
+        check.note(detail)
+    else:
+        check.fail(f"unreachable: {detail}")
+        check.fail("is `repro serve` running there?  Check the --store "
+                   "URL (host, port) and any ?timeout= / "
+                   "REPRO_STORE_TIMEOUT setting.")
+    return check
+
+
 def run_store_doctor(store, fix: bool = False,
-                     prune_older_than_days: Optional[float] = None
+                     prune_older_than_days: Optional[float] = None,
+                     prune_to_size_bytes: Optional[int] = None
                      ) -> DoctorReport:
     """Audit one blob store (local or remote) — the ``--store`` path."""
     report = DoctorReport()
+    connectivity = probe_store(store)
+    report.checks.append(connectivity)
+    if not connectivity.ok:
+        # Nothing below can succeed against an unreachable remote;
+        # stop with the one actionable failure instead of a traceback.
+        resilience_warn("doctor-store-unreachable",
+                        "store unreachable; audit skipped",
+                        url=store.url())
+        return report
     if prune_older_than_days is not None:
         report.checks.append(prune_store(
             store, "results", ".json", prune_older_than_days,
@@ -516,6 +632,19 @@ def run_store_doctor(store, fix: bool = False,
         report.checks.append(prune_store(
             store, "traces", ".bin", prune_older_than_days,
             f"trace store {store.url()}"))
+    if prune_to_size_bytes is not None:
+        # A size budget bounds *disk*, so for a tiered store the target
+        # is the local tier (the remote keeps its copies); the tier's
+        # spooled keys stay exempt because the local copy is the sole one.
+        target = getattr(store, "local", None)
+        if target is not None and hasattr(store, "spooled_keys"):
+            report.checks.append(prune_store_to_size(
+                target, prune_to_size_bytes,
+                f"store {store.url()} local tier",
+                exempt=set(store.spooled_keys())))
+        else:
+            report.checks.append(prune_store_to_size(
+                store, prune_to_size_bytes, f"store {store.url()}"))
     report.checks.extend(check_result_store(store, fix=fix))
     report.checks.extend(check_trace_store(store, fix=fix))
     if not report.ok:
@@ -529,24 +658,36 @@ def run_doctor(result_root: Optional[Path] = None,
                trace_root: Optional[Path] = None,
                fix: bool = False,
                prune_older_than_days: Optional[float] = None,
-               store=None) -> DoctorReport:
+               store=None,
+               prune_to_size_bytes: Optional[int] = None) -> DoctorReport:
     """Audit both caches; defaults to the live environment-derived roots.
 
     With ``prune_older_than_days`` set, garbage-collect entries older
-    than the cutoff first (manifest-logged), then audit what remains.
+    than the cutoff first (manifest-logged), then audit what remains;
+    ``prune_to_size_bytes`` does the same under a byte budget (LRU).
     With ``store`` set (a :class:`repro.store.BlobStore`), audit through
     the store interface instead of walking paths — identical checks,
     any backend.
     """
     if store is not None:
         return run_store_doctor(store, fix=fix,
-                                prune_older_than_days=prune_older_than_days)
+                                prune_older_than_days=prune_older_than_days,
+                                prune_to_size_bytes=prune_to_size_bytes)
     from repro.experiments._engine import default_cache_dir
     from repro.trace._cache import trace_cache_dir
 
     result_root = Path(result_root) if result_root else default_cache_dir()
     trace_root = Path(trace_root) if trace_root else trace_cache_dir()
     report = DoctorReport()
+    if prune_to_size_bytes is not None:
+        # Size pruning is inherently cross-namespace (one budget for the
+        # whole tree), so it always goes through the store interface; an
+        # FsStore over these roots is bit-compatible with them.
+        from repro.store.fs import FsStore
+
+        report.checks.append(prune_store_to_size(
+            FsStore(result_root, trace_root=trace_root),
+            prune_to_size_bytes, f"cache {result_root}"))
     if prune_older_than_days is not None:
         report.checks.append(prune_cache(
             result_root, ".json", prune_older_than_days,

@@ -13,6 +13,8 @@ Grammar (the value of ``REPRO_FAULTS``)::
     clause       = "seed=" INT | site (":" key "=" INT)*
     site         = "worker-kill" | "worker-exc" | "task-stall"
                  | "cache-corrupt" | "trace-corrupt"
+                 | "store-get-error" | "store-put-stall"
+                 | "store-conn-refused"
     key          = "n" (budget, default 1) | "every" (default 1)
                  | "ms" (stall milliseconds, default 50)
                  | "mode" (corruption: 0 garbage / 1 truncate, default 0)
@@ -34,6 +36,15 @@ Sites
     Overwrite (or truncate) an existing result/trace blob immediately
     before the cache reads it — the read path must detect, quarantine,
     and rebuild.
+``store-get-error`` / ``store-put-stall`` / ``store-conn-refused``
+    Network faults at the blob-store boundary.  A remote fetch raises a
+    transport error, a remote publish stalls ``ms`` milliseconds before
+    hitting the wire, or any store round trip dies as if the coordinator
+    refused the connection.  :class:`repro.store.HttpStore` consults
+    them client-side and the service's ``/blob`` endpoints consult them
+    server-side, so either end of a flapping coordinator can be
+    rehearsed — the retry/backoff/spool machinery must absorb all three
+    (``repro chaos`` pins byte-identical results).
 
 Determinism
 -----------
@@ -62,6 +73,9 @@ SITE_WORKER_EXC = "worker-exc"
 SITE_TASK_STALL = "task-stall"
 SITE_CACHE_CORRUPT = "cache-corrupt"
 SITE_TRACE_CORRUPT = "trace-corrupt"
+SITE_STORE_GET_ERROR = "store-get-error"
+SITE_STORE_PUT_STALL = "store-put-stall"
+SITE_STORE_CONN_REFUSED = "store-conn-refused"
 
 #: Every site the production code consults, with a one-line description
 #: (the fault-site catalogue rendered by ``repro doctor --help`` / docs).
@@ -71,7 +85,14 @@ FAULT_SITES: Dict[str, str] = {
     SITE_TASK_STALL: "stall a worker chunk past its deadline (ms=...)",
     SITE_CACHE_CORRUPT: "corrupt a ResultCache blob just before it is read",
     SITE_TRACE_CORRUPT: "corrupt a packed TraceCache blob just before it is read",
+    SITE_STORE_GET_ERROR: "fail a remote blob fetch with a transport error",
+    SITE_STORE_PUT_STALL: "stall a remote blob publish (ms=...) before the wire",
+    SITE_STORE_CONN_REFUSED: "refuse the connection on a store round trip",
 }
+
+#: The network-fault subset (sites that fire at the blob-store boundary).
+NETWORK_FAULT_SITES = (SITE_STORE_GET_ERROR, SITE_STORE_PUT_STALL,
+                       SITE_STORE_CONN_REFUSED)
 
 #: Exit status a killed worker dies with (distinctive in core-dump logs).
 KILL_EXIT_CODE = 23
@@ -84,6 +105,16 @@ _GARBAGE = b"\xde\xad\xbe\xef" * 16
 
 class TransientFault(RuntimeError):
     """The injected worker exception (picklable across the pool boundary)."""
+
+
+class InjectedStoreFault(OSError):
+    """The injected store transport error.
+
+    An ``OSError`` on purpose: it travels the exact same retry path as a
+    real socket failure (``urllib``'s ``URLError`` is an ``OSError``
+    too), so the production recovery code cannot tell rehearsal from the
+    real thing.
+    """
 
 
 class FaultPlanError(ValueError):
@@ -274,6 +305,23 @@ class FaultInjector:
             raise TransientFault("injected transient worker fault")
         if self.should_fire(SITE_TASK_STALL):
             time.sleep(self.plan.sites[SITE_TASK_STALL].ms / 1000.0)
+
+    def on_store_op(self, op: str) -> None:
+        """The network-fault sites, consulted per store round trip.
+
+        ``op`` is the store operation about to hit the wire (``"get"``,
+        ``"put"``, ``"stat"``, ``"rpc"``, ...).  ``store-conn-refused``
+        arrives on every op; the get/put-specific sites only count
+        arrivals of their own op, so a plan like ``store-get-error:n=2``
+        fires on the 2nd-arriving *fetch*, not whatever request happens
+        to come 2nd overall.
+        """
+        if op == "get" and self.should_fire(SITE_STORE_GET_ERROR):
+            raise InjectedStoreFault("injected store get error")
+        if op == "put" and self.should_fire(SITE_STORE_PUT_STALL):
+            time.sleep(self.plan.sites[SITE_STORE_PUT_STALL].ms / 1000.0)
+        if self.should_fire(SITE_STORE_CONN_REFUSED):
+            raise InjectedStoreFault("injected connection refused")
 
     def maybe_corrupt(self, site: str, path) -> bool:
         """Damage ``path`` if the site fires; arrivals only count when the

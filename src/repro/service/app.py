@@ -48,6 +48,7 @@ from repro.experiments._engine import (
     default_cache_dir,
 )
 from repro.obs.metrics import MetricsRegistry, process_registry
+from repro.resilience.faults import get_injector
 from repro.resilience.storage import durable_replace
 from repro.service.dispatcher import Dispatcher, JobJournal
 from repro.service.jobs import Job, JobState
@@ -321,7 +322,17 @@ class SweepService:
     # counting > 0 is how the distributed smoke test proves two workers
     # actually shared one warm store.
 
+    def _store_fault(self, op: str) -> None:
+        # Server-side network fault sites: with REPRO_FAULTS armed in
+        # the *service* process, a blob round trip can fail (surfacing
+        # as a 500 to the client, whose retry/breaker machinery this
+        # rehearses) or stall before touching the store.
+        injector = get_injector()
+        if injector is not None:
+            injector.on_store_op(op)
+
     def blob_get(self, key: str) -> Optional[bytes]:
+        self._store_fault("get")
         data = self.store.get(key)
         if data is None:
             self.metrics.inc("repro_service_blob_misses_total")
@@ -330,6 +341,7 @@ class SweepService:
         return data
 
     def blob_put(self, key: str, data: bytes) -> None:
+        self._store_fault("put")
         self.store.put(key, data)
         self.metrics.inc("repro_service_blob_puts_total")
 

@@ -12,10 +12,15 @@ This package defines the one narrow interface the caches talk to
   ``quarantine/`` beside each root, crash-atomic fsync'd writes);
 * :class:`HttpStore` — a client for the blob endpoints of a running
   ``repro serve`` instance, so one service is a whole fleet's shared
-  warm cache with zero new dependencies.
+  warm cache with zero new dependencies (hardened with seeded retries,
+  configurable timeouts, and a trip-open/half-open circuit breaker);
+* :class:`TieredStore` — a local :class:`FsStore` write-through tier in
+  front of any remote store, so workers keep serving (and spool their
+  writes) while the coordinator is down and re-warm cheaply after.
 
 Selection is by URL: ``file:///path`` (or a bare path) names an
-:class:`FsStore`, ``http://host:port`` an :class:`HttpStore`.
+:class:`FsStore`, ``http://host:port`` an :class:`HttpStore`, and
+``tiered+http://host:port?local=DIR`` a :class:`TieredStore`.
 :func:`configure_store` installs a process-wide choice (exported through
 ``REPRO_STORE`` so pool workers inherit it); :func:`get_store` is what
 the caches consult.  See docs/distributed.md.
@@ -37,7 +42,8 @@ from repro.store.config import (
     store_url,
 )
 from repro.store.fs import FsStore, default_result_root, default_trace_root
-from repro.store.http import HttpStore
+from repro.store.http import HttpStore, StoreUnavailableError
+from repro.store.tiered import TieredStore
 
 __all__ = [
     "BlobStat",
@@ -47,6 +53,8 @@ __all__ = [
     "NAMESPACE_RESULTS",
     "NAMESPACE_TRACES",
     "StoreError",
+    "StoreUnavailableError",
+    "TieredStore",
     "configure_store",
     "default_result_root",
     "default_trace_root",

@@ -108,6 +108,29 @@ class BlobStore:
         mmap loads and in-place fault injection); ``None`` otherwise."""
         return None
 
+    # -- health --------------------------------------------------------------
+
+    def probe(self):
+        """Cheap reachability check: ``(ok, detail)``.
+
+        Local backends are trivially reachable; remote ones perform one
+        unretried liveness round trip.  ``repro doctor`` puts the answer
+        on its summary line instead of discovering unreachability as a
+        traceback three audits in.
+        """
+        return True, "local store"
+
+    # -- tiering -------------------------------------------------------------
+
+    def spooled_keys(self) -> List[str]:
+        """Keys accepted locally but not yet flushed to a backing tier.
+
+        Only :class:`~repro.store.tiered.TieredStore` ever reports any;
+        eviction (``doctor --prune-to-size`` and the tier budget) must
+        treat these as un-evictable — they are the sole copy.
+        """
+        return []
+
     # -- integrity / quarantine (the doctor surface) -------------------------
 
     def quarantine(self, key: str, reason: str) -> Optional[str]:

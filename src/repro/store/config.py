@@ -5,6 +5,18 @@
     file:///var/cache/repro   -> FsStore rooted there
     /var/cache/repro          -> the same FsStore
     http://cache-host:8673    -> HttpStore against that service
+    http://host:8673?timeout=5
+                              -> the same, with a 5 s per-request timeout
+    tiered+http://host:8673?local=/var/tier
+                              -> TieredStore: local FsStore tier at
+                                 /var/tier over that HttpStore
+    tiered+http://host:8673?timeout=5&local=/var/tier&budget=1000000000
+                              -> the same with a remote timeout and a
+                                 1 GB local-tier eviction budget
+
+``tiered+`` consumes the ``local=`` (required) and ``budget=`` query
+parameters; everything else in the URL — scheme, host, ``timeout=`` —
+describes the remote leg and is handed to it unchanged.
 
 ``configure_store`` installs a process-wide choice and exports it as
 ``REPRO_STORE`` so every engine this process builds — and every pool
@@ -27,11 +39,48 @@ from repro.store.fs import FsStore
 from repro.store.http import HttpStore
 
 
+def _parse_tiered_url(text: str) -> BlobStore:
+    """``tiered+<remote-url>?local=DIR[&budget=BYTES]`` -> TieredStore."""
+    from urllib.parse import parse_qsl, quote, unquote
+
+    from repro.store.tiered import TieredStore
+
+    inner = text[len("tiered+"):]
+    if inner.startswith("tiered+"):
+        raise StoreError(f"tiered stores do not nest: {text!r}")
+    base, _, query = inner.partition("?")
+    local = budget = None
+    passthrough = []
+    for name, value in parse_qsl(query, keep_blank_values=True):
+        if name == "local":
+            local = unquote(value)
+        elif name == "budget":
+            try:
+                budget = int(value)
+            except ValueError:
+                raise StoreError(f"bad budget= value {value!r} in {text!r}")
+            if budget <= 0:
+                raise StoreError(f"budget= must be positive in {text!r}")
+        else:
+            passthrough.append(f"{name}={quote(value, safe='')}")
+    if not local:
+        raise StoreError(
+            f"tiered store URL names no local tier: {text!r} "
+            "(append ?local=DIR)")
+    remote_url = base + ("?" + "&".join(passthrough) if passthrough else "")
+    remote = parse_store_url(remote_url)
+    if isinstance(remote, TieredStore):
+        raise StoreError(f"tiered stores do not nest: {text!r}")
+    return TieredStore(remote, Path(local), budget_bytes=budget)
+
+
 def parse_store_url(url_or_path: Union[str, Path]) -> BlobStore:
     """A ready-to-use backend for one store URL (or bare path)."""
     text = str(url_or_path).strip()
     if not text:
         raise StoreError("empty store URL")
+    if text.startswith("tiered+"):
+        return _parse_tiered_url(text)
     if text.startswith(("http://", "https://")):
         return HttpStore(text)
     if text.startswith("file://"):
